@@ -1,0 +1,194 @@
+//! Offset-length histogram aggregation across workloads.
+//!
+//! Figures 4, 12 and 13 plot, per workload (or averaged), the cumulative
+//! fraction of dynamic branches whose stored target offsets fit in N
+//! bits. [`OffsetAggregate`] merges per-workload histograms (as collected
+//! by `btbx_trace::TraceStats`) and renders [`CdfSeries`] for the
+//! harnesses.
+
+use btbx_trace::TraceStats;
+use serde::{Deserialize, Serialize};
+
+/// A named cumulative-distribution series over offset bits 0..=46.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdfSeries {
+    /// Series label (workload name or "average").
+    pub label: String,
+    /// `cdf[b]` = fraction of dynamic branches with stored offsets ≤ `b`
+    /// bits.
+    pub cdf: Vec<f64>,
+}
+
+impl CdfSeries {
+    /// Value at `bits` (clamped to the last point).
+    pub fn at(&self, bits: usize) -> f64 {
+        self.cdf[bits.min(self.cdf.len() - 1)]
+    }
+}
+
+/// Accumulates offset histograms over many workloads.
+#[derive(Debug, Clone, Default)]
+pub struct OffsetAggregate {
+    series: Vec<(String, Vec<u64>, u64)>, // (name, hist, total branches)
+}
+
+impl OffsetAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one workload's statistics.
+    pub fn add(&mut self, name: impl Into<String>, stats: &TraceStats) {
+        self.series
+            .push((name.into(), stats.offset_hist.clone(), stats.branches));
+    }
+
+    /// Number of workloads added.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` when nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Per-workload CDF series, in insertion order.
+    pub fn per_workload(&self) -> Vec<CdfSeries> {
+        self.series
+            .iter()
+            .map(|(name, hist, total)| CdfSeries {
+                label: name.clone(),
+                cdf: cdf_of(hist, *total),
+            })
+            .collect()
+    }
+
+    /// The unweighted mean CDF across workloads (the paper averages
+    /// workload curves, not dynamic branches, in Figures 12/13).
+    pub fn average(&self, label: impl Into<String>) -> CdfSeries {
+        let per = self.per_workload();
+        let n = per.len().max(1) as f64;
+        let len = per.first().map_or(47, |s| s.cdf.len());
+        let mut avg = vec![0.0; len];
+        for s in &per {
+            for (i, v) in s.cdf.iter().enumerate() {
+                avg[i] += v / n;
+            }
+        }
+        CdfSeries {
+            label: label.into(),
+            cdf: avg,
+        }
+    }
+}
+
+fn cdf_of(hist: &[u64], total: u64) -> Vec<f64> {
+    let mut acc = 0u64;
+    hist.iter()
+        .take(47)
+        .map(|&c| {
+            acc += c;
+            if total == 0 {
+                0.0
+            } else {
+                acc as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_core::types::{Arch, BranchClass, BranchEvent};
+    use btbx_trace::record::TraceInstr;
+
+    fn stats_with(branches: &[(u64, u64, BranchClass)]) -> TraceStats {
+        let mut s = TraceStats {
+            instructions: 0,
+            branches: 0,
+            taken: 0,
+            per_class: [0; 6],
+            loads: 0,
+            stores: 0,
+            offset_hist: vec![0; 49],
+            taken_branch_working_set: 0,
+            code_blocks: 0,
+        };
+        for &(pc, target, class) in branches {
+            s.observe(
+                &TraceInstr::branch(pc, 4, BranchEvent::taken(pc, target, class)),
+                Arch::Arm64,
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let s = stats_with(&[
+            (0x1000, 0x1010, BranchClass::CondDirect),
+            (0x1000, 0x9000_0000, BranchClass::CallDirect),
+        ]);
+        let mut agg = OffsetAggregate::new();
+        agg.add("w", &s);
+        let cdf = &agg.per_workload()[0];
+        assert!((cdf.at(46) - 1.0).abs() < 1e-12);
+        assert!(cdf.at(2) < 1.0);
+    }
+
+    #[test]
+    fn returns_anchor_the_zero_bucket() {
+        let s = stats_with(&[(0x1000, 0xffff_0000, BranchClass::Return)]);
+        let mut agg = OffsetAggregate::new();
+        agg.add("w", &s);
+        assert!((agg.per_workload()[0].at(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_is_unweighted() {
+        // One workload all-short, one all-long: average CDF at small bits
+        // must be 0.5 even though branch counts differ wildly.
+        let short = stats_with(&[(0x1000, 0x1008, BranchClass::CondDirect)]);
+        let mut long = stats_with(&[]);
+        for i in 0..100u64 {
+            long.observe(
+                &TraceInstr::branch(
+                    0x1000 + i * 4,
+                    4,
+                    BranchEvent::taken(0x1000 + i * 4, 0x4000_0000, BranchClass::CallDirect),
+                ),
+                Arch::Arm64,
+            );
+        }
+        let mut agg = OffsetAggregate::new();
+        agg.add("short", &short);
+        agg.add("long", &long);
+        let avg = agg.average("avg");
+        assert!((avg.at(5) - 0.5).abs() < 1e-9);
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn empty_aggregate_average_is_zero() {
+        let avg = OffsetAggregate::new().average("avg");
+        assert_eq!(avg.at(46), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let s = stats_with(&[
+            (0x1000, 0x1008, BranchClass::CondDirect),
+            (0x1000, 0x1200, BranchClass::CondDirect),
+            (0x1000, 0x9000_0000, BranchClass::CallDirect),
+        ]);
+        let mut agg = OffsetAggregate::new();
+        agg.add("w", &s);
+        let cdf = &agg.per_workload()[0];
+        for b in 1..47 {
+            assert!(cdf.at(b) >= cdf.at(b - 1));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Analysis and reporting for the BTB-X reproduction.
+//!
+//! * [`hist`] — offset-length histograms and CDF series (Figures 4, 12
+//!   and 13);
+//! * [`metrics`] — geometric means, speedups and per-suite aggregation
+//!   (Figures 9–11);
+//! * [`table`] — plain-text table and CSV rendering used by every
+//!   experiment harness;
+//! * [`reference`] — the paper's published numbers (Table I, Figure 4
+//!   anchors, Table IV/V values, headline gains), kept in one place so
+//!   harnesses can print paper-vs-measured columns and tests can assert
+//!   reproduction tolerances.
+
+pub mod hist;
+pub mod metrics;
+pub mod reference;
+pub mod table;
+
+pub use hist::{CdfSeries, OffsetAggregate};
+pub use metrics::{gmean, mean, Speedup};
+pub use table::{Align, TextTable};

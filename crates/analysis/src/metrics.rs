@@ -1,0 +1,95 @@
+//! Metric aggregation: means, geometric means, and speedup tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean; `0.0` for empty input.
+///
+/// The paper reports performance as geometric-mean speedups over the
+/// baseline (Figures 10 and 11).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A labelled speedup relative to a baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Speedup {
+    /// Configuration label.
+    pub label: String,
+    /// Ratio over the baseline (1.0 = parity).
+    pub value: f64,
+}
+
+impl Speedup {
+    /// Construct from raw IPCs.
+    pub fn from_ipc(label: impl Into<String>, ipc: f64, baseline_ipc: f64) -> Self {
+        Speedup {
+            label: label.into(),
+            value: if baseline_ipc > 0.0 { ipc / baseline_ipc } else { 0.0 },
+        }
+    }
+
+    /// Percentage gain over baseline (e.g. 1.39 → 39.0).
+    pub fn percent_gain(&self) -> f64 {
+        (self.value - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_basic() {
+        assert_eq!(gmean(&[]), 0.0);
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_below_arithmetic_mean() {
+        let v = [1.0, 10.0, 2.5];
+        assert!(gmean(&v) < mean(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn speedup_percent() {
+        let s = Speedup::from_ipc("btbx", 1.39, 1.0);
+        assert!((s.percent_gain() - 39.0).abs() < 1e-9);
+        assert_eq!(Speedup::from_ipc("x", 1.0, 0.0).value, 0.0);
+    }
+}

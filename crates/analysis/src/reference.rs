@@ -1,0 +1,128 @@
+//! The paper's published numbers, centralized so harnesses can print
+//! paper-vs-measured columns and integration tests can assert
+//! reproduction tolerances.
+
+/// Table I: BTB storage cost across Samsung Exynos generations
+/// (`(CPU, KB)`), from Grayson et al., ISCA 2020 (paper reference [21]).
+pub const TABLE_I_EXYNOS_BTB_KB: [(&str, f64); 5] = [
+    ("M1/M2", 98.9),
+    ("M3", 175.8),
+    ("M4", 288.0),
+    ("M5", 310.8),
+    ("M6", 561.5),
+];
+
+/// Figure 4 anchor points on the average Arm64 offset CDF:
+/// `(stored bits, fraction of dynamic branches covered)` (Section V-A).
+pub const FIG4_ARM64_CDF_ANCHORS: [(u32, f64); 8] = [
+    (0, 0.20),
+    (4, 0.36),
+    (5, 0.46),
+    (7, 0.61),
+    (9, 0.72),
+    (11, 0.79),
+    (19, 0.90),
+    (25, 0.99),
+];
+
+/// Headline offset statistics (Section I / III): ≤ 6 bits, 7–10 bits, and
+/// > 25 bits fractions.
+pub const OFFSETS_LE6: f64 = 0.54;
+pub const OFFSETS_7_TO_10: f64 = 0.22;
+pub const OFFSETS_GT25: f64 = 0.01;
+
+/// Table IV: branches per storage budget `(BTB-X, +XC, PDede, Conv)`.
+pub const TABLE_IV_BRANCHES: [(u64, u64, u64, u64); 7] = [
+    (256, 4, 210, 116),
+    (512, 8, 415, 232),
+    (1024, 16, 820, 464),
+    (2048, 32, 1617, 928),
+    (4096, 64, 3190, 1856),
+    (8192, 128, 6292, 3712),
+    (16384, 256, 12405, 7424),
+];
+
+/// Headline capacity ratios (abstract / Section VI-B / VI-G).
+pub const CAPACITY_VS_CONV_ARM64: f64 = 2.24;
+pub const CAPACITY_VS_CONV_X86: f64 = 2.18;
+pub const CAPACITY_VS_PDEDE_LOW: f64 = 1.24;
+pub const CAPACITY_VS_PDEDE_HIGH: f64 = 1.34;
+
+/// Figure 9: average BTB MPKI on server workloads at the 14.5 KB budget
+/// `(Conv, PDede, BTB-X)`.
+pub const FIG9_SERVER_MPKI: (f64, f64, f64) = (25.0, 13.7, 9.5);
+
+/// Figure 10: geometric-mean server speedups over Conv-BTB-no-prefetch
+/// `(Conv+FDIP, PDede+FDIP, BTB-X+FDIP)` and without FDIP
+/// `(PDede, BTB-X)`.
+pub const FIG10_SERVER_GAIN_FDIP: (f64, f64, f64) = (1.24, 1.33, 1.39);
+pub const FIG10_SERVER_GAIN_NOFDIP: (f64, f64) = (1.08, 1.13);
+
+/// Figure 11a datapoint called out in the text: at 14.5 KB,
+/// `(Conv, PDede, BTB-X)` server gains over the 0.9 KB Conv baseline.
+pub const FIG11_SERVER_GAIN_14_5KB: (f64, f64, f64) = (1.20, 1.29, 1.35);
+
+/// Table V: per-access energies in pJ.
+pub const TABLE_V_CONV_READ_PJ: f64 = 13.2;
+pub const TABLE_V_CONV_WRITE_PJ: f64 = 25.2;
+pub const TABLE_V_PDEDE_MAIN_READ_PJ: f64 = 8.4;
+pub const TABLE_V_PDEDE_MAIN_WRITE_PJ: f64 = 12.5;
+pub const TABLE_V_PAGE_READ_PJ: f64 = 0.9;
+pub const TABLE_V_PAGE_WRITE_PJ: f64 = 0.8;
+pub const TABLE_V_PAGE_SEARCH_PJ: f64 = 6.2;
+pub const TABLE_V_BTBX_READ_PJ: f64 = 8.5;
+pub const TABLE_V_BTBX_WRITE_PJ: f64 = 11.4;
+
+/// Table V: total energies in µJ `(Conv, PDede, BTB-X)`.
+pub const TABLE_V_TOTAL_UJ: (f64, f64, f64) = (2232.0, 1058.0, 999.0);
+
+/// Section VI-E access latencies in ns `(Conv, PDede main, PDede page,
+/// BTB-X)`.
+pub const LATENCY_NS: (f64, f64, f64, f64) = (0.36, 0.34, 0.13, 0.33);
+
+/// Relative-error helper used by tests and harness report columns.
+pub fn rel_err(measured: f64, paper: f64) -> f64 {
+    if paper == 0.0 {
+        0.0
+    } else {
+        (measured - paper) / paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_monotone() {
+        let mut prev = 0.0;
+        for (_, f) in FIG4_ARM64_CDF_ANCHORS {
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn exynos_storage_grows() {
+        for w in TABLE_I_EXYNOS_BTB_KB.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn rel_err_math() {
+        assert!((rel_err(11.0, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_err(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table_iv_consistent_with_headlines() {
+        // The published Table IV ratios average to ~2.24× vs Conv.
+        let avg: f64 = TABLE_IV_BRANCHES
+            .iter()
+            .map(|&(x, xc, _, c)| (x + xc) as f64 / c as f64)
+            .sum::<f64>()
+            / TABLE_IV_BRANCHES.len() as f64;
+        assert!((avg - CAPACITY_VS_CONV_ARM64).abs() < 0.02);
+    }
+}

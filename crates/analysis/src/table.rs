@@ -1,0 +1,181 @@
+//! Plain-text table and CSV rendering for the experiment harnesses.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (labels).
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table that also serializes to CSV.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    align: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers; all columns default to
+    /// right-aligned except the first.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let align = header
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            header,
+            align,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments.
+    pub fn align(mut self, align: Vec<Align>) -> Self {
+        assert_eq!(align.len(), self.header.len(), "alignment arity mismatch");
+        self.align = align;
+        self
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity does not match the header.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], align: &[Align]| {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                match align[i] {
+                    Align::Left => line.push_str(&format!("{:<w$}", cells[i], w = widths[i])),
+                    Align::Right => line.push_str(&format!("{:>w$}", cells[i], w = widths[i])),
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths, &self.align));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.align));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimal places (helper for harnesses).
+pub fn fnum(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1.5"]);
+        t.row(["b", "10.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // Numbers right-aligned: both end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["x,y", "1"]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn empty_state() {
+        let t = TextTable::new(["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks: BTB lookup/update throughput per
+//! organization at the paper's 14.5 KB budget, plus the way-sizing
+//! ablation (uniform vs paper ways).
+
+use btbx_core::storage::BudgetPoint;
+use btbx_core::types::{Arch, BranchClass, BranchEvent};
+use btbx_core::{factory, OrgKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn branch_stream(n: usize) -> Vec<BranchEvent> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            let pc = rng.gen_range(0x10_0000u64..0x40_0000) & !3;
+            let dist = 4u64 << rng.gen_range(0..18);
+            let class = match rng.gen_range(0..10) {
+                0..=5 => BranchClass::CondDirect,
+                6..=7 => BranchClass::CallDirect,
+                8 => BranchClass::Return,
+                _ => BranchClass::UncondDirect,
+            };
+            BranchEvent::taken(pc, pc + dist, class)
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
+    let stream = branch_stream(4096);
+    let mut group = c.benchmark_group("btb_lookup");
+    for org in [
+        OrgKind::Conv,
+        OrgKind::Pdede,
+        OrgKind::BtbX,
+        OrgKind::RBtb,
+        OrgKind::BtbXUniform,
+    ] {
+        let mut btb = factory::build(org, budget, Arch::Arm64);
+        for ev in &stream {
+            btb.update(ev);
+        }
+        group.bench_function(org.id(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ev = &stream[i & 4095];
+                i += 1;
+                black_box(btb.lookup(black_box(ev.pc)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
+    let stream = branch_stream(4096);
+    let mut group = c.benchmark_group("btb_update");
+    for org in [OrgKind::Conv, OrgKind::Pdede, OrgKind::BtbX] {
+        let mut btb = factory::build(org, budget, Arch::Arm64);
+        group.bench_function(org.id(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ev = &stream[i & 4095];
+                i += 1;
+                btb.update(black_box(ev));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup, bench_update
+}
+criterion_main!(benches);

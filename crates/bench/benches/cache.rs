@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks: cache probe/fill and full-hierarchy access
+//! paths.
+
+use btbx_uarch::cache::{Cache, Probe};
+use btbx_uarch::config::SimConfig;
+use btbx_uarch::hierarchy::{Hierarchy, Port};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_cache_probe(c: &mut Criterion) {
+    let config = SimConfig::default();
+    let mut cache = Cache::new("bench-l1i", config.l1i);
+    // Warm half the blocks so probes mix hits and misses.
+    for b in 0..256u64 {
+        if let Probe::Miss(start) = cache.probe(b * 2, 0) {
+            cache.record_fill(b * 2, start + 4, false);
+        }
+    }
+    c.bench_function("l1i_probe", |b| {
+        let mut blk = 0u64;
+        let mut now = 1_000u64;
+        b.iter(|| {
+            blk = (blk + 1) % 512;
+            now += 1;
+            black_box(cache.probe(black_box(blk), now))
+        });
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.bench_function("instr_hit_path", |b| {
+        let mut h = Hierarchy::new(&SimConfig::default());
+        let _ = h.access(Port::Instr, 0x1000, 0);
+        let mut now = 1_000u64;
+        b.iter(|| {
+            now += 1;
+            black_box(h.access(Port::Instr, black_box(0x1000), now))
+        });
+    });
+    group.bench_function("data_streaming", |b| {
+        let mut h = Hierarchy::new(&SimConfig::default());
+        let mut addr = 0x6000_0000u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr += 64;
+            now += 10_000; // let MSHRs drain between accesses
+            black_box(h.access(Port::Data, black_box(addr), now))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_probe, bench_hierarchy
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks: hashed perceptron prediction/training and
+//! RAS operations.
+
+use btbx_uarch::perceptron::HashedPerceptron;
+use btbx_uarch::ras::ReturnAddressStack;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_perceptron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perceptron");
+    group.bench_function("predict", |b| {
+        let p = HashedPerceptron::new();
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            black_box(p.predict(black_box(pc)))
+        });
+    });
+    group.bench_function("predict_train", |b| {
+        let mut p = HashedPerceptron::new();
+        let mut pc = 0x40_0000u64;
+        let mut flip = false;
+        b.iter(|| {
+            pc = pc.wrapping_add(64);
+            let pred = p.predict(black_box(pc));
+            flip = !flip;
+            p.train(pred, flip);
+        });
+    });
+    group.finish();
+}
+
+fn bench_ras(c: &mut Criterion) {
+    c.bench_function("ras_push_pop", |b| {
+        let mut ras = ReturnAddressStack::new(64);
+        b.iter(|| {
+            ras.push(black_box(0x1234));
+            black_box(ras.pop())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_perceptron, bench_ras
+}
+criterion_main!(benches);

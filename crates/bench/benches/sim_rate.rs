@@ -1,0 +1,43 @@
+//! Criterion macrobenchmark: end-to-end simulation rate (instructions
+//! simulated per second) per BTB organization — the cost of the full
+//! front-end model.
+
+use btbx_core::storage::BudgetPoint;
+use btbx_core::types::Arch;
+use btbx_core::{factory, OrgKind};
+use btbx_trace::synth::{ProgramImage, SynthParams, SyntheticTrace};
+use btbx_uarch::{simulate, SimConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sim(c: &mut Criterion) {
+    let image = ProgramImage::generate(&SynthParams::server(600), 3);
+    let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
+    const INSTRS: u64 = 100_000;
+    let mut group = c.benchmark_group("sim_rate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTRS));
+    for org in [OrgKind::Conv, OrgKind::Pdede, OrgKind::BtbX] {
+        group.bench_function(org.id(), |b| {
+            b.iter(|| {
+                let trace = SyntheticTrace::new(image.clone(), "bench", 3);
+                let btb = factory::build(org, budget, Arch::Arm64);
+                black_box(simulate(
+                    SimConfig::with_fdip(),
+                    trace,
+                    btb,
+                    org.id(),
+                    20_000,
+                    INSTRS,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: synthetic image generation and walker
+//! throughput, plus trace codec encode/decode rates.
+
+use btbx_core::types::Arch;
+use btbx_trace::codec;
+use btbx_trace::synth::{ProgramImage, SynthParams, SyntheticTrace};
+use btbx_trace::TraceSource;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("image_generate");
+    group.sample_size(10);
+    for funcs in [100usize, 800] {
+        group.bench_function(format!("{funcs}_funcs"), |b| {
+            let params = SynthParams::server(funcs);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(ProgramImage::generate(&params, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let image = ProgramImage::generate(&SynthParams::server(400), 7);
+    let mut trace = SyntheticTrace::new(image, "bench", 7);
+    let mut group = c.benchmark_group("walker");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("next_instr", |b| {
+        b.iter(|| black_box(trace.next_instr()));
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let image = ProgramImage::generate(&SynthParams::server(200), 9);
+    let instrs: Vec<_> = SyntheticTrace::new(image, "bench", 9)
+        .take_instrs(50_000)
+        .into_iter_instrs()
+        .collect();
+    let encoded = codec::encode("bench", Arch::Arm64, instrs.clone());
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(instrs.len() as u64));
+    group.bench_function("encode_50k", |b| {
+        b.iter(|| black_box(codec::encode("bench", Arch::Arm64, instrs.iter().copied())));
+    });
+    group.bench_function("decode_50k", |b| {
+        b.iter(|| {
+            let d = codec::Decoder::new(encoded.clone()).unwrap();
+            black_box(d.into_iter_instrs().count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_walker, bench_codec
+}
+criterion_main!(benches);

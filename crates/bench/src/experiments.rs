@@ -1,0 +1,246 @@
+//! Experiment drivers: the simulation matrices and offset studies behind
+//! every figure/table, with JSON caching so related harnesses share runs.
+
+use crate::opts::HarnessOpts;
+use crate::runner::run_jobs;
+use btbx_analysis::hist::OffsetAggregate;
+use btbx_core::storage::BudgetPoint;
+use btbx_core::types::Arch;
+use btbx_core::{factory, OrgKind};
+use btbx_trace::stats::TraceStats;
+use btbx_trace::suite::{self, WorkloadSpec};
+use btbx_uarch::{simulate, SimConfig, SimResult};
+use std::fs;
+use std::path::Path;
+
+/// Run one simulation: `spec` on `org` at `budget_bits`, FDIP on/off.
+pub fn sim_one(
+    spec: &WorkloadSpec,
+    org: OrgKind,
+    budget_bits: u64,
+    fdip: bool,
+    warmup: u64,
+    measure: u64,
+) -> SimResult {
+    let config = if fdip {
+        SimConfig::with_fdip()
+    } else {
+        SimConfig::without_fdip()
+    };
+    let btb = factory::build(org, budget_bits, spec.params.arch);
+    let trace = spec.build_trace();
+    let mut r = simulate(config, trace, btb, org.id(), warmup, measure);
+    r.btb_budget_bits = budget_bits;
+    r
+}
+
+fn cache_path(opts: &HarnessOpts, name: &str) -> std::path::PathBuf {
+    opts.out_dir.join(format!("{name}.json"))
+}
+
+fn load_cache(path: &Path) -> Option<Vec<SimResult>> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn store_cache(path: &Path, results: &[SimResult]) {
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_string(results) {
+        let _ = fs::write(path, json);
+    }
+}
+
+/// The Figure 9/10/Table V matrix: every IPC-1 workload × {Conv, PDede,
+/// BTB-X} × {FDIP, no FDIP} at the 14.5 KB budget. Cached as
+/// `eval_matrix.json`.
+pub fn eval_matrix(opts: &HarnessOpts) -> Vec<SimResult> {
+    let path = cache_path(opts, "eval_matrix");
+    if !opts.fresh {
+        if let Some(cached) = load_cache(&path) {
+            eprintln!("[eval_matrix] using cached {} results", cached.len());
+            return cached;
+        }
+    }
+    let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
+    let specs = suite::ipc1_all();
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        for org in OrgKind::PAPER_EVAL {
+            for fdip in [false, true] {
+                let spec = spec.clone();
+                let (w, m) = (opts.warmup, opts.measure);
+                jobs.push(move || sim_one(&spec, org, budget, fdip, w, m));
+            }
+        }
+    }
+    let results = run_jobs("eval_matrix", opts.threads, jobs);
+    store_cache(&path, &results);
+    results
+}
+
+/// The Figure 11 matrix: all seven budgets × three organizations × all
+/// IPC-1 workloads, FDIP enabled everywhere (Section VI-F). Cached as
+/// `budget_sweep.json`.
+pub fn budget_sweep(opts: &HarnessOpts) -> Vec<SimResult> {
+    let path = cache_path(opts, "budget_sweep");
+    if !opts.fresh {
+        if let Some(cached) = load_cache(&path) {
+            eprintln!("[budget_sweep] using cached {} results", cached.len());
+            return cached;
+        }
+    }
+    let specs = suite::ipc1_all();
+    // The sweep is 7× the size of the eval matrix; halve the window to
+    // keep wall-clock in check (shapes are stable; see EXPERIMENTS.md).
+    let warmup = (opts.warmup / 2).max(100_000);
+    let measure = (opts.measure / 2).max(200_000);
+    let mut jobs = Vec::new();
+    for bp in BudgetPoint::ALL {
+        let budget = bp.bits(Arch::Arm64);
+        for spec in &specs {
+            for org in OrgKind::PAPER_EVAL {
+                let spec = spec.clone();
+                jobs.push(move || sim_one(&spec, org, budget, true, warmup, measure));
+            }
+        }
+    }
+    let results = run_jobs("budget_sweep", opts.threads, jobs);
+    store_cache(&path, &results);
+    results
+}
+
+/// Locate a result in a matrix.
+pub fn find<'a>(
+    results: &'a [SimResult],
+    workload: &str,
+    org: OrgKind,
+    fdip: bool,
+    budget_bits: Option<u64>,
+) -> Option<&'a SimResult> {
+    results.iter().find(|r| {
+        r.workload == workload
+            && r.org == org.id()
+            && r.fdip_enabled == fdip
+            && budget_bits.is_none_or(|b| r.btb_budget_bits == b)
+    })
+}
+
+/// Collect offset statistics over a set of workload specs.
+pub fn offsets_for(specs: &[WorkloadSpec], instrs: u64, threads: usize) -> OffsetAggregate {
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            move || {
+                let mut trace = spec.build_trace();
+                let stats = TraceStats::collect(&mut trace, instrs, spec.params.arch);
+                (spec.name.clone(), stats)
+            }
+        })
+        .collect();
+    let mut agg = OffsetAggregate::new();
+    for (name, stats) in run_jobs("offsets", threads, jobs) {
+        agg.add(name, &stats);
+    }
+    agg
+}
+
+/// Per-workload trace statistics (used by `fig04` for the per-workload
+/// curves and by `table05` for branch mixes).
+pub fn trace_stats_for(
+    specs: &[WorkloadSpec],
+    instrs: u64,
+    threads: usize,
+) -> Vec<(String, TraceStats)> {
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            move || {
+                let mut trace = spec.build_trace();
+                let stats = TraceStats::collect(&mut trace, instrs, spec.params.arch);
+                (spec.name.clone(), stats)
+            }
+        })
+        .collect();
+    run_jobs("trace-stats", threads, jobs)
+}
+
+/// Server/client split of IPC-1 results by workload name.
+pub fn is_server_workload(name: &str) -> bool {
+    name.starts_with("server")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts(dir: &str) -> HarnessOpts {
+        HarnessOpts {
+            warmup: 20_000,
+            measure: 40_000,
+            offset_instrs: 50_000,
+            fresh: true,
+            out_dir: std::env::temp_dir().join(dir),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn sim_one_produces_complete_result() {
+        let spec = &suite::ipc1_client()[0];
+        let budget = BudgetPoint::Kb0_9.bits(Arch::Arm64);
+        let r = sim_one(spec, OrgKind::BtbX, budget, true, 10_000, 20_000);
+        assert_eq!(r.workload, "client_001");
+        assert_eq!(r.org, "btbx");
+        assert!(r.fdip_enabled);
+        // Commit is 6-wide, so the window may overshoot by < 6.
+        assert!((20_000..20_006).contains(&r.stats.instructions));
+        assert!(r.stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let opts = tiny_opts("btbx-cache-test");
+        let spec = &suite::ipc1_client()[0];
+        let budget = BudgetPoint::Kb0_9.bits(Arch::Arm64);
+        let results = vec![sim_one(spec, OrgKind::Conv, budget, false, 5_000, 10_000)];
+        let path = cache_path(&opts, "unit_test_matrix");
+        store_cache(&path, &results);
+        let loaded = load_cache(&path).expect("cache readable");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].workload, results[0].workload);
+        assert_eq!(loaded[0].stats.instructions, results[0].stats.instructions);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn find_matches_on_all_keys() {
+        let spec = &suite::ipc1_client()[0];
+        let budget = BudgetPoint::Kb0_9.bits(Arch::Arm64);
+        let results = vec![
+            sim_one(spec, OrgKind::Conv, budget, false, 5_000, 10_000),
+            sim_one(spec, OrgKind::BtbX, budget, true, 5_000, 10_000),
+        ];
+        assert!(find(&results, "client_001", OrgKind::Conv, false, Some(budget)).is_some());
+        assert!(find(&results, "client_001", OrgKind::Conv, true, None).is_none());
+        assert!(find(&results, "client_002", OrgKind::Conv, false, None).is_none());
+    }
+
+    #[test]
+    fn offsets_driver_aggregates() {
+        let specs = suite::ipc1_client();
+        let agg = offsets_for(&specs[..2], 50_000, 2);
+        assert_eq!(agg.len(), 2);
+        let avg = agg.average("avg");
+        assert!(avg.at(46) > 0.99);
+    }
+
+    #[test]
+    fn server_name_split() {
+        assert!(is_server_workload("server_032"));
+        assert!(!is_server_workload("client_001"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the BTB-X reproduction.
+//!
+//! One binary per paper table/figure (`fig04`, `fig09`, …, `table05`) plus
+//! `all_experiments`, which runs the full set and rewrites
+//! `EXPERIMENTS.md`. Shared machinery lives here:
+//!
+//! * [`opts`] — command-line options (`--warmup`, `--measure`, `--quick`,
+//!   `--fresh`, `--out`);
+//! * [`runner`] — a small work-stealing thread pool for simulation
+//!   sweeps;
+//! * [`experiments`] — the drivers that produce each figure's data,
+//!   caching simulation matrices as JSON under the results directory so
+//!   `fig09`/`fig10`/`table05` share one set of runs;
+//! * [`report`] — text/CSV emission helpers.
+
+pub mod experiments;
+pub mod opts;
+pub mod report;
+pub mod runner;
+
+pub use opts::HarnessOpts;

@@ -1,0 +1,132 @@
+//! Command-line options shared by every harness binary.
+
+use std::path::PathBuf;
+
+/// Harness options parsed from `std::env::args`.
+///
+/// The paper warms for 50 M instructions and measures 50 M; the defaults
+/// here are scaled to interactive hardware and can be raised with
+/// `--warmup`/`--measure` for higher-fidelity runs (shapes are stable
+/// well below the paper's window sizes because the synthetic workloads
+/// cycle their working sets quickly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessOpts {
+    /// Warm-up instructions per simulation.
+    pub warmup: u64,
+    /// Measured instructions per simulation.
+    pub measure: u64,
+    /// Instructions per workload for offset-distribution studies.
+    pub offset_instrs: u64,
+    /// Ignore cached simulation matrices and re-run.
+    pub fresh: bool,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            warmup: 500_000,
+            measure: 1_000_000,
+            offset_instrs: 1_000_000,
+            fresh: false,
+            out_dir: PathBuf::from("results"),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parse from an iterator of arguments (without the program name).
+    ///
+    /// Unknown flags abort with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = HarnessOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> u64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} expects a number"))
+            };
+            match arg.as_str() {
+                "--warmup" => opts.warmup = take("--warmup"),
+                "--measure" => opts.measure = take("--measure"),
+                "--offset-instrs" => opts.offset_instrs = take("--offset-instrs"),
+                "--threads" => opts.threads = take("--threads") as usize,
+                "--quick" => {
+                    opts.warmup = 150_000;
+                    opts.measure = 300_000;
+                    opts.offset_instrs = 300_000;
+                }
+                "--fresh" => opts.fresh = true,
+                "--out" => {
+                    opts.out_dir = PathBuf::from(
+                        it.next().expect("--out expects a directory"),
+                    );
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--warmup N] [--measure N] [--offset-instrs N] \
+                         [--threads N] [--quick] [--fresh] [--out DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option {other}; try --help"),
+            }
+        }
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessOpts {
+        HarnessOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.warmup, 500_000);
+        assert!(!o.fresh);
+    }
+
+    #[test]
+    fn numeric_flags() {
+        let o = parse(&["--warmup", "1000", "--measure", "2000", "--threads", "4"]);
+        assert_eq!(o.warmup, 1000);
+        assert_eq!(o.measure, 2000);
+        assert_eq!(o.threads, 4);
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let o = parse(&["--quick"]);
+        assert!(o.measure < HarnessOpts::default().measure);
+    }
+
+    #[test]
+    fn out_dir() {
+        let o = parse(&["--out", "/tmp/x", "--fresh"]);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert!(o.fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown option")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Report emission: writing text/CSV artifacts and assembling the
+//! EXPERIMENTS.md comparison document.
+
+use btbx_analysis::table::TextTable;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Write `content` under the results directory, creating it as needed;
+/// returns the full path.
+pub fn write_artifact(out_dir: &Path, name: &str, content: &str) -> PathBuf {
+    let _ = fs::create_dir_all(out_dir);
+    let path = out_dir.join(name);
+    fs::write(&path, content).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
+/// Write a table as both text and CSV artifacts and echo the text table
+/// to stdout.
+pub fn emit_table(out_dir: &Path, stem: &str, title: &str, table: &TextTable) {
+    println!("\n== {title} ==\n{}", table.render());
+    write_artifact(out_dir, &format!("{stem}.txt"), &table.render());
+    write_artifact(out_dir, &format!("{stem}.csv"), &table.to_csv());
+}
+
+/// Percent-formatted paper-vs-measured cell, e.g. `"1.39 (paper 1.39)"`.
+pub fn vs_paper(measured: f64, paper: f64, digits: usize) -> String {
+    format!("{measured:.digits$} (paper {paper:.digits$})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_artifacts() {
+        let dir = std::env::temp_dir().join("btbx-report-test");
+        let p = write_artifact(&dir, "x.txt", "hello");
+        assert_eq!(fs::read_to_string(&p).unwrap(), "hello");
+        let _ = fs::remove_file(p);
+    }
+
+    #[test]
+    fn emit_table_produces_both_formats() {
+        let dir = std::env::temp_dir().join("btbx-report-test2");
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        emit_table(&dir, "unit", "Unit", &t);
+        assert!(dir.join("unit.txt").exists());
+        assert!(dir.join("unit.csv").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vs_paper_formatting() {
+        assert_eq!(vs_paper(1.385, 1.39, 2), "1.39 (paper 1.39)");
+    }
+}

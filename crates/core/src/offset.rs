@@ -1,0 +1,198 @@
+//! Target-offset arithmetic (paper Section III).
+//!
+//! The *target offset* of a branch is defined as the `n` least-significant
+//! bits of the target address, where `n` is the (1-based) position of the
+//! most-significant bit that differs between the branch PC and the target.
+//! All bits above position `n` are identical in PC and target, so the full
+//! target can be recovered by concatenating the high PC bits with the
+//! stored offset — no adder required (contrast with a numerical-delta
+//! encoding, which would need a 48-bit adder).
+//!
+//! On Arm64 the two low bits of every instruction address are zero, so they
+//! are dropped before storage; on x86 they are kept (Section VI-G).
+
+use crate::types::Arch;
+
+/// 1-based bit position of the most-significant differing bit between
+/// `pc` and `target`; `0` when the two addresses are identical.
+///
+/// This is the `n` of the paper's Figure 3: for
+/// `pc = 0b...1011_01000`, `target = 0b...1011_11000` the addresses first
+/// differ at (1-based) position 5, so the raw offset is the five low target
+/// bits `11000`.
+#[inline]
+pub fn msb_diff_pos(pc: u64, target: u64) -> u32 {
+    let diff = pc ^ target;
+    64 - diff.leading_zeros()
+}
+
+/// Number of offset bits that must be *stored* in a BTB entry for this
+/// PC/target pair: the raw offset length minus the architecture's
+/// always-zero alignment bits.
+///
+/// Returns for the Figure 3 example (`n = 5`, Arm64): `3` — the paper
+/// stores only `110`.
+#[inline]
+pub fn stored_offset_len(pc: u64, target: u64, arch: Arch) -> u32 {
+    msb_diff_pos(pc, target).saturating_sub(arch.align_bits())
+}
+
+/// Extract the `n_stored`-bit offset of `target` for storage in a BTB way.
+///
+/// The stored value is simply the low `n_stored` bits of the target after
+/// dropping the alignment bits, so a way with a wider field than the branch
+/// strictly needs can hold the branch as well (the extra high bits equal
+/// the corresponding PC bits and reconstruct correctly).
+///
+/// # Panics
+///
+/// Panics if `n_stored > 62`, which no BTB way ever uses.
+#[inline]
+pub fn extract_offset(target: u64, n_stored: u32, arch: Arch) -> u64 {
+    assert!(n_stored <= 62, "offset field wider than any real design");
+    let shifted = target >> arch.align_bits();
+    if n_stored == 0 {
+        0
+    } else {
+        shifted & ((1u64 << n_stored) - 1)
+    }
+}
+
+/// Reconstruct a full target address by concatenating the high-order bits
+/// of `pc` with an `n_stored`-bit stored offset (Figure 8's concatenation
+/// box).
+///
+/// Correct whenever `n_stored >= stored_offset_len(pc, target, arch)` for
+/// the pair that produced `stored`.
+#[inline]
+pub fn reconstruct_target(pc: u64, stored: u64, n_stored: u32, arch: Arch) -> u64 {
+    let shift = n_stored + arch.align_bits();
+    let high = if shift >= 64 { 0 } else { (pc >> shift) << shift };
+    high | (stored << arch.align_bits())
+}
+
+/// `true` when a way with an `width`-bit offset field can hold this branch.
+#[inline]
+pub fn fits_in_way(pc: u64, target: u64, width: u32, arch: Arch) -> bool {
+    stored_offset_len(pc, target, arch) <= width
+}
+
+/// Page number of an address for a 4 KB page (PDede / R-BTB partitioning).
+#[inline]
+pub fn page_number(addr: u64) -> u64 {
+    addr >> 12
+}
+
+/// Page offset (bits 11..0) of an address.
+#[inline]
+pub fn page_offset(addr: u64) -> u64 {
+    addr & 0xfff
+}
+
+/// Region number for PDede's Region-BTB: bits 47..28, i.e. a region is a
+/// group of 2^16 contiguous 4 KB pages (Figure 6).
+#[inline]
+pub fn region_number(addr: u64) -> u64 {
+    (addr >> 28) & ((1u64 << 20) - 1)
+}
+
+/// The 16-bit portion of the page number stored in PDede's Page-BTB
+/// (bits 27..12 of the address, Figure 6).
+#[inline]
+pub fn pdede_page_bits(addr: u64) -> u64 {
+    (addr >> 12) & 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_worked_example() {
+        // Figure 3: PC = ...1 0 1 1 0 1 0 0 0, target = ...1 0 1 1 1 1 0 0 0
+        // (bit positions 9..1). MSB diff at position 5; raw offset `11000`;
+        // stored offset on Arm64 is `110` (3 bits).
+        let pc = 0b1_0110_1000u64;
+        let target = 0b1_0111_1000u64;
+        assert_eq!(msb_diff_pos(pc, target), 5);
+        assert_eq!(stored_offset_len(pc, target, Arch::Arm64), 3);
+        assert_eq!(stored_offset_len(pc, target, Arch::X86), 5);
+        assert_eq!(extract_offset(target, 3, Arch::Arm64), 0b110);
+        assert_eq!(
+            reconstruct_target(pc, 0b110, 3, Arch::Arm64),
+            target,
+            "concatenation must recover the full target"
+        );
+    }
+
+    #[test]
+    fn identical_addresses_need_zero_bits() {
+        assert_eq!(msb_diff_pos(0x4000, 0x4000), 0);
+        assert_eq!(stored_offset_len(0x4000, 0x4000, Arch::Arm64), 0);
+        assert_eq!(reconstruct_target(0x4000, 0, 0, Arch::Arm64), 0x4000);
+    }
+
+    #[test]
+    fn reconstruct_with_wider_way_is_still_exact() {
+        let pc = 0x0000_7f12_3450u64 & !3;
+        let target = 0x0000_7f12_3710u64 & !3;
+        let need = stored_offset_len(pc, target, Arch::Arm64);
+        for width in need..=25 {
+            let stored = extract_offset(target, width, Arch::Arm64);
+            assert_eq!(
+                reconstruct_target(pc, stored, width, Arch::Arm64),
+                target,
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrower_way_does_not_fit() {
+        let pc = 0x1_0000u64;
+        let target = 0x9_0000u64;
+        let need = stored_offset_len(pc, target, Arch::Arm64);
+        assert!(need > 0);
+        assert!(fits_in_way(pc, target, need, Arch::Arm64));
+        assert!(!fits_in_way(pc, target, need - 1, Arch::Arm64));
+    }
+
+    #[test]
+    fn x86_needs_two_more_bits_than_arm_for_same_distance() {
+        // Same byte distance: x86 stores the alignment bits, Arm64 drops them.
+        let pc = 0x40_0000u64;
+        let target = 0x40_0100u64;
+        let arm = stored_offset_len(pc, target, Arch::Arm64);
+        let x86 = stored_offset_len(pc, target, Arch::X86);
+        assert_eq!(x86, arm + 2);
+    }
+
+    #[test]
+    fn backward_branches_symmetric() {
+        // Offsets are defined by XOR, so direction does not matter.
+        let a = 0x10_0040u64;
+        let b = 0x10_0000u64;
+        assert_eq!(
+            stored_offset_len(a, b, Arch::Arm64),
+            stored_offset_len(b, a, Arch::Arm64)
+        );
+    }
+
+    #[test]
+    fn page_and_region_split() {
+        let addr = 0x0000_1234_5678_9abcu64;
+        assert_eq!(page_number(addr), 0x0000_1234_5678_9abc >> 12);
+        assert_eq!(page_offset(addr), 0xabc);
+        assert_eq!(region_number(addr), (addr >> 28) & 0xfffff);
+        assert_eq!(pdede_page_bits(addr), (addr >> 12) & 0xffff);
+        // Region ‖ page ‖ offset reassembles the low 48 bits (Figure 6).
+        let rebuilt =
+            (region_number(addr) << 28) | (pdede_page_bits(addr) << 12) | page_offset(addr);
+        assert_eq!(rebuilt, addr & ((1u64 << 48) - 1));
+    }
+
+    #[test]
+    fn zero_width_extract_is_zero() {
+        assert_eq!(extract_offset(u64::MAX, 0, Arch::Arm64), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Storage-budget arithmetic reproducing the paper's Table III (BTB-X
+//! storage requirements) and Table IV (branches trackable per budget by
+//! BTB-X, PDede and the conventional BTB), plus the Section VI-G x86
+//! variant of the same analysis.
+//!
+//! The paper defines seven budget tiers as "the storage required by a
+//! BTB-X with 256 … 16 K entries" (0.9 KB … 58 KB). Everything here is
+//! exact integer arithmetic; the unit tests pin the published numbers.
+
+use crate::conv::CONV_ENTRY_BITS;
+use crate::pdede::{PdedeSizing, PAGE_ENTRY_BITS, REGION_BITS};
+use crate::types::Arch;
+use crate::x::{BtbXConfig, BTBXC_ENTRY_BITS, XC_ENTRY_DIVISOR};
+use serde::{Deserialize, Serialize};
+
+/// The seven storage-budget tiers of Tables III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BudgetPoint {
+    /// 256-entry BTB-X ≈ 0.9 KB.
+    Kb0_9,
+    /// 512-entry BTB-X ≈ 1.8 KB.
+    Kb1_8,
+    /// 1K-entry BTB-X ≈ 3.6 KB.
+    Kb3_6,
+    /// 2K-entry BTB-X ≈ 7.25 KB.
+    Kb7_25,
+    /// 4K-entry BTB-X ≈ 14.5 KB — the paper's default evaluation budget.
+    Kb14_5,
+    /// 8K-entry BTB-X ≈ 29 KB.
+    Kb29,
+    /// 16K-entry BTB-X ≈ 58 KB.
+    Kb58,
+}
+
+impl BudgetPoint {
+    /// All tiers, smallest first.
+    pub const ALL: [BudgetPoint; 7] = [
+        BudgetPoint::Kb0_9,
+        BudgetPoint::Kb1_8,
+        BudgetPoint::Kb3_6,
+        BudgetPoint::Kb7_25,
+        BudgetPoint::Kb14_5,
+        BudgetPoint::Kb29,
+        BudgetPoint::Kb58,
+    ];
+
+    /// BTB-X entry count that defines this tier (Table III).
+    pub const fn btbx_entries(self) -> usize {
+        match self {
+            BudgetPoint::Kb0_9 => 256,
+            BudgetPoint::Kb1_8 => 512,
+            BudgetPoint::Kb3_6 => 1024,
+            BudgetPoint::Kb7_25 => 2048,
+            BudgetPoint::Kb14_5 => 4096,
+            BudgetPoint::Kb29 => 8192,
+            BudgetPoint::Kb58 => 16384,
+        }
+    }
+
+    /// Total bits of the tier-defining BTB-X (+BTB-XC) for `arch`.
+    pub fn bits(self, arch: Arch) -> u64 {
+        btbx_total_bits(self.btbx_entries(), arch)
+    }
+
+    /// The paper's label for the Arm64 tier ("0.9KB" … "58KB").
+    pub const fn label(self) -> &'static str {
+        match self {
+            BudgetPoint::Kb0_9 => "0.9KB",
+            BudgetPoint::Kb1_8 => "1.8KB",
+            BudgetPoint::Kb3_6 => "3.6KB",
+            BudgetPoint::Kb7_25 => "7.25KB",
+            BudgetPoint::Kb14_5 => "14.5KB",
+            BudgetPoint::Kb29 => "29KB",
+            BudgetPoint::Kb58 => "58KB",
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Total storage (bits) of a BTB-X with `entries` entries plus its BTB-XC
+/// (Table III construction).
+pub fn btbx_total_bits(entries: usize, arch: Arch) -> u64 {
+    let sets = entries / 8;
+    let xc_entries = (entries / XC_ENTRY_DIVISOR).max(1);
+    sets as u64 * BtbXConfig::paper(arch).set_bits() + xc_entries as u64 * BTBXC_ENTRY_BITS
+}
+
+/// One row of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableIiiRow {
+    /// BTB-X entries.
+    pub entries: usize,
+    /// BTB-XC entries.
+    pub xc_entries: usize,
+    /// BTB-X sets.
+    pub sets: usize,
+    /// Bits per BTB-X set (224 on Arm64).
+    pub set_bits: u64,
+    /// Bits per BTB-XC entry (64).
+    pub xc_entry_bits: u64,
+    /// Total storage in KB.
+    pub storage_kb: f64,
+}
+
+/// Compute Table III for `arch` (the paper presents Arm64).
+pub fn table_iii(arch: Arch) -> Vec<TableIiiRow> {
+    BudgetPoint::ALL
+        .iter()
+        .map(|&bp| {
+            let entries = bp.btbx_entries();
+            let sets = entries / 8;
+            TableIiiRow {
+                entries,
+                xc_entries: (entries / XC_ENTRY_DIVISOR).max(1),
+                sets,
+                set_bits: BtbXConfig::paper(arch).set_bits(),
+                xc_entry_bits: BTBXC_ENTRY_BITS,
+                storage_kb: bp.bits(arch) as f64 / 8192.0,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table IV: branch capacity of each organization at one
+/// storage budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableIvRow {
+    /// Budget tier.
+    pub budget: BudgetPoint,
+    /// Total budget in bits.
+    pub budget_bits: u64,
+    /// BTB-X branches (main entries).
+    pub btbx_branches: u64,
+    /// BTB-XC branches.
+    pub btbxc_branches: u64,
+    /// PDede Page-BTB budget in KB.
+    pub pdede_page_kb: f64,
+    /// PDede Main-BTB budget in KB.
+    pub pdede_main_kb: f64,
+    /// PDede average Main-BTB entry size in bits.
+    pub pdede_entry_bits: f64,
+    /// PDede branches (idealized `main_bits / avg_entry`, as the paper
+    /// tabulates).
+    pub pdede_branches: u64,
+    /// Conventional-BTB entry size in bits (64).
+    pub conv_entry_bits: u64,
+    /// Conventional-BTB branches.
+    pub conv_branches: u64,
+}
+
+impl TableIvRow {
+    /// Capacity ratio BTB-X : conventional (the paper's 2.24×).
+    pub fn btbx_vs_conv(&self) -> f64 {
+        (self.btbx_branches + self.btbxc_branches) as f64 / self.conv_branches as f64
+    }
+
+    /// Capacity ratio BTB-X : PDede (the paper's 1.24–1.34×).
+    pub fn btbx_vs_pdede(&self) -> f64 {
+        (self.btbx_branches + self.btbxc_branches) as f64 / self.pdede_branches as f64
+    }
+}
+
+/// Compute Table IV for Arm64 exactly as the paper does.
+///
+/// The per-organization conventions (all from Section VI-B):
+/// * BTB-X defines the budget: `sets × 224 + XC × 64` bits;
+/// * PDede's Page-BTB gets 32 entries per 0.9 KB tier (doubling), the
+///   Region-BTB a fixed 88 bits, the Main-BTB the rest, with capacity
+///   `main_bits / avg_entry_bits`;
+/// * the conventional BTB holds `budget / 64` branches.
+pub fn table_iv(arch: Arch) -> Vec<TableIvRow> {
+    BudgetPoint::ALL
+        .iter()
+        .map(|&bp| table_iv_row(bp, arch))
+        .collect()
+}
+
+fn table_iv_row(bp: BudgetPoint, arch: Arch) -> TableIvRow {
+    let bits = bp.bits(arch);
+    // PDede sizing is defined by the Arm64 tier geometry regardless of the
+    // BTB-X ISA: Section VI-G resizes only BTB-X for x86 and keeps the
+    // competitor layouts fixed, which is how the published 1.21×/1.31×
+    // ratios arise.
+    let sizing = PdedeSizing::for_budget(bits);
+    let page_bits = sizing.page_entries as u64 * PAGE_ENTRY_BITS;
+    let main_bits = bits - page_bits - REGION_BITS;
+    let avg = PdedeSizing::avg_entry_bits(sizing.page_ptr_bits);
+    let entries = bp.btbx_entries();
+    TableIvRow {
+        budget: bp,
+        budget_bits: bits,
+        btbx_branches: entries as u64,
+        btbxc_branches: (entries / XC_ENTRY_DIVISOR).max(1) as u64,
+        pdede_page_kb: page_bits as f64 / 8192.0,
+        pdede_main_kb: main_bits as f64 / 8192.0,
+        pdede_entry_bits: avg,
+        pdede_branches: (main_bits as f64 / avg).round() as u64,
+        conv_entry_bits: CONV_ENTRY_BITS,
+        conv_branches: bits / CONV_ENTRY_BITS,
+    }
+}
+
+/// Section VI-G: the same capacity analysis with BTB-X resized for x86
+/// (ways 0/5/6/7/9/12/20/27, 86 offset bits per set).
+pub fn table_x86() -> Vec<TableIvRow> {
+    table_iv(Arch::X86)
+}
+
+/// Average of `btbx_vs_conv` across all tiers — the paper's headline
+/// "about 2.24×" (Arm64) / "2.18×" (x86).
+pub fn mean_capacity_vs_conv(arch: Arch) -> f64 {
+    let rows = table_iv(arch);
+    rows.iter().map(TableIvRow::btbx_vs_conv).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_matches_paper() {
+        let rows = table_iii(Arch::Arm64);
+        let expect_kb = [0.90625, 1.8125, 3.625, 7.25, 14.5, 29.0, 58.0];
+        let expect_sets = [32, 64, 128, 256, 512, 1024, 2048];
+        let expect_xc = [4, 8, 16, 32, 64, 128, 256];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.set_bits, 224);
+            assert_eq!(row.xc_entry_bits, 64);
+            assert_eq!(row.sets, expect_sets[i]);
+            assert_eq!(row.xc_entries, expect_xc[i]);
+            assert!(
+                (row.storage_kb - expect_kb[i]).abs() < 0.01,
+                "row {i}: {} vs {}",
+                row.storage_kb,
+                expect_kb[i]
+            );
+        }
+    }
+
+    #[test]
+    fn table_iv_matches_paper_arm64() {
+        let rows = table_iv(Arch::Arm64);
+        // Paper Table IV columns (PDede branches, Conv branches).
+        let pdede = [210u64, 415, 820, 1617, 3190, 6292, 12405];
+        let conv = [116u64, 232, 464, 928, 1856, 3712, 7424];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.conv_branches, conv[i], "conv row {i}");
+            // PDede involves floating-point rounding; allow ±2 branches.
+            assert!(
+                (row.pdede_branches as i64 - pdede[i] as i64).abs() <= 2,
+                "pdede row {i}: {} vs {}",
+                row.pdede_branches,
+                pdede[i]
+            );
+        }
+        // Paper: 1.24× over PDede at 0.9 KB, 1.34× at 58 KB.
+        assert!((rows[0].btbx_vs_pdede() - 1.24).abs() < 0.02);
+        assert!((rows[6].btbx_vs_pdede() - 1.34).abs() < 0.02);
+    }
+
+    #[test]
+    fn headline_capacity_ratios() {
+        // "about 2.24x more branches than a conventional BTB"
+        assert!((mean_capacity_vs_conv(Arch::Arm64) - 2.24).abs() < 0.02);
+        // Section VI-G: "2.18x more branches than Conv-BTB for x86"
+        assert!((mean_capacity_vs_conv(Arch::X86) - 2.18).abs() < 0.02);
+    }
+
+    #[test]
+    fn x86_vs_pdede_ratios() {
+        let rows = table_x86();
+        // Section VI-G: 1.21× at 0.9 KB, 1.31× at 58 KB.
+        assert!(
+            (rows[0].btbx_vs_pdede() - 1.21).abs() < 0.02,
+            "got {}",
+            rows[0].btbx_vs_pdede()
+        );
+        assert!(
+            (rows[6].btbx_vs_pdede() - 1.31).abs() < 0.02,
+            "got {}",
+            rows[6].btbx_vs_pdede()
+        );
+    }
+
+    #[test]
+    fn budgets_double_per_tier() {
+        let bits: Vec<u64> = BudgetPoint::ALL
+            .iter()
+            .map(|bp| bp.bits(Arch::Arm64))
+            .collect();
+        for i in 1..bits.len() {
+            assert_eq!(bits[i], bits[i - 1] * 2);
+        }
+        assert_eq!(bits[0], 7424);
+    }
+
+    #[test]
+    fn pdede_budget_split_matches_table_iv() {
+        let rows = table_iv(Arch::Arm64);
+        let expect_page_kb = [0.078, 0.156, 0.312, 0.625, 1.25, 2.5, 5.0];
+        let expect_main_kb = [0.817, 1.645, 3.3, 6.6, 13.2, 26.5, 53.0];
+        for (i, row) in rows.iter().enumerate() {
+            assert!(
+                (row.pdede_page_kb - expect_page_kb[i]).abs() < 0.01,
+                "page row {i}: {}",
+                row.pdede_page_kb
+            );
+            assert!(
+                (row.pdede_main_kb - expect_main_kb[i]).abs() < 0.15,
+                "main row {i}: {}",
+                row.pdede_main_kb
+            );
+        }
+    }
+
+    #[test]
+    fn pdede_entry_sizes_match_table_iv() {
+        let rows = table_iv(Arch::Arm64);
+        let expect = [32.0, 32.5, 33.0, 33.5, 34.0, 34.5, 35.0];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.pdede_entry_bits, expect[i], "row {i}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Set indexing and partial-tag hashing shared by all BTB organizations.
+//!
+//! BTBs are indexed with low-order PC bits (after dropping alignment bits)
+//! and store a 12-bit *partial tag* produced by hashing the remaining
+//! high-order bits (Section II-A). Partial tags trade a small amount of
+//! aliasing for a large storage saving; aliased hits are realistic BTB
+//! behaviour and are resolved by the pipeline like any other target
+//! misprediction.
+
+use crate::types::Arch;
+
+/// Width of the hashed partial tag used by every organization (Figure 1).
+pub const PARTIAL_TAG_BITS: u32 = 12;
+
+/// Set index for `pc` in a structure with `sets` sets.
+///
+/// `sets` does not have to be a power of two: the paper's entry counts
+/// (e.g. 1856 conventional entries at 14.5 KB) imply non-power-of-two set
+/// counts, which hardware realizes with a cheap modulo stage and we realize
+/// with `%`.
+#[inline]
+pub fn set_index(pc: u64, sets: usize, arch: Arch) -> usize {
+    debug_assert!(sets > 0);
+    ((pc >> arch.align_bits()) % sets as u64) as usize
+}
+
+/// 12-bit partial tag for `pc` in a structure with `sets` sets.
+///
+/// The *entire* instruction address (above the alignment bits) is mixed
+/// and folded into [`PARTIAL_TAG_BITS`] bits. Hashing all bits — rather
+/// than only those "above the index" — matters for non-power-of-two set
+/// counts: with modulo indexing, two different PCs in the same set can
+/// share every bit above any fixed cut-off, which would make a truncated
+/// tag alias systematically. With a full-address hash, aliasing is the
+/// intended ~`2^-12` per valid entry.
+#[inline]
+pub fn partial_tag(pc: u64, sets: usize, arch: Arch) -> u16 {
+    let _ = sets; // the tag is index-independent by design (see above)
+    let mut v = pc >> arch.align_bits();
+    // xorshift-multiply mixing (splitmix64 finalizer) decorrelates the
+    // structured address patterns of code layouts.
+    v ^= v >> 33;
+    v = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    v ^= v >> 29;
+    v = v.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    v ^= v >> 32;
+    let mut tag = 0u64;
+    while v != 0 {
+        tag ^= v & ((1 << PARTIAL_TAG_BITS) - 1);
+        v >>= PARTIAL_TAG_BITS;
+    }
+    tag as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_stable_and_in_range() {
+        for sets in [1usize, 13, 32, 232, 256, 1024] {
+            for pc in [0u64, 4, 0x7f00_1234_5678, u64::MAX & !3] {
+                let i = set_index(pc, sets, Arch::Arm64);
+                assert!(i < sets);
+                assert_eq!(i, set_index(pc, sets, Arch::Arm64));
+            }
+        }
+    }
+
+    #[test]
+    fn tag_fits_in_12_bits() {
+        for pc in [0u64, 0xdead_beef_cafe, u64::MAX] {
+            assert!(partial_tag(pc, 256, Arch::Arm64) < (1 << PARTIAL_TAG_BITS));
+        }
+    }
+
+    #[test]
+    fn tags_differ_for_distant_pcs_with_same_index() {
+        // Two PCs that map to the same set but come from different pages
+        // should (almost always) have different tags.
+        let sets = 256usize;
+        let a = 0x0000_0001_0000_1000u64;
+        let b = a + (sets as u64) * 4 * 1024; // same index, different high bits
+        assert_eq!(
+            set_index(a, sets, Arch::Arm64),
+            set_index(b, sets, Arch::Arm64)
+        );
+        assert_ne!(
+            partial_tag(a, sets, Arch::Arm64),
+            partial_tag(b, sets, Arch::Arm64)
+        );
+    }
+
+    #[test]
+    fn alignment_bits_do_not_affect_x86_indexing() {
+        // On x86 the low bits participate in the index.
+        assert_ne!(
+            set_index(0x1001, 64, Arch::X86),
+            set_index(0x1002, 64, Arch::X86)
+        );
+        // On Arm64 addresses within one instruction word share the index.
+        assert_eq!(
+            set_index(0x1000, 64, Arch::Arm64),
+            set_index(0x1000, 64, Arch::Arm64)
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! Mapping BTB organizations to SRAM geometries and reproducing the
+//! paper's Table V (energy) and Section VI-E (latency) analyses.
+
+use crate::sram::{SramArray, SramModel};
+use btbx_core::pdede::{PdedeSizing, PAGE_ENTRY_BITS, REGION_BITS, REGION_ENTRIES};
+use btbx_core::stats::AccessCounts;
+use btbx_core::storage::btbx_total_bits;
+use btbx_core::types::Arch;
+use btbx_core::x::{BtbXConfig, BTBXC_ENTRY_BITS, XC_ENTRY_DIVISOR};
+use btbx_core::OrgKind;
+use serde::{Deserialize, Serialize};
+
+/// One line of an energy breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyItem {
+    /// Structure + operation label (e.g. `"Main-BTB read"`).
+    pub label: String,
+    /// Energy per access in picojoules.
+    pub per_access_pj: f64,
+    /// Number of accesses charged.
+    pub accesses: u64,
+    /// Total energy in microjoules.
+    pub total_uj: f64,
+}
+
+/// A complete per-design energy account (one Table V panel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Organization id.
+    pub org: String,
+    /// Itemized rows.
+    pub items: Vec<EnergyItem>,
+    /// Sum over items in microjoules.
+    pub total_uj: f64,
+}
+
+/// The paper's Table V per-access energies (pJ) at the 14.5 KB anchor
+/// budget, used to pin the analytic model exactly to Cacti's published
+/// outputs; the analytic form then provides *scaling* to other budgets.
+mod anchor {
+    pub const CONV_READ: f64 = 13.2;
+    pub const CONV_WRITE: f64 = 25.2;
+    pub const BTBX_READ: f64 = 8.5;
+    pub const BTBX_WRITE: f64 = 11.4;
+    pub const MAIN_READ: f64 = 8.4;
+    pub const MAIN_WRITE: f64 = 12.5;
+    pub const PAGE_READ: f64 = 0.9;
+    pub const PAGE_WRITE: f64 = 0.8;
+    pub const PAGE_SEARCH: f64 = 6.2;
+}
+
+/// Per-structure correction factors pinning the model to Table V at the
+/// anchor geometry.
+#[derive(Debug, Clone, Copy)]
+struct Corrections {
+    conv_read: f64,
+    conv_write: f64,
+    btbx_read: f64,
+    btbx_write: f64,
+    main_read: f64,
+    main_write: f64,
+    page_read: f64,
+    page_write: f64,
+    page_search: f64,
+}
+
+/// Energy/latency model for the paper's BTB designs at a storage budget.
+#[derive(Debug, Clone, Copy)]
+pub struct BtbEnergyModel {
+    model: SramModel,
+    arch: Arch,
+    budget_bits: u64,
+    corr: Corrections,
+}
+
+impl BtbEnergyModel {
+    /// A model for organizations sized to `budget_bits` on `arch`.
+    pub fn new(budget_bits: u64, arch: Arch) -> Self {
+        let model = SramModel::cacti_22nm();
+        // Anchor geometries: the paper's structures at 14.5 KB.
+        let anchor_budget = btbx_total_bits(4096, Arch::Arm64);
+        let probe = BtbEnergyModel {
+            model,
+            arch: Arch::Arm64,
+            budget_bits: anchor_budget,
+            corr: Corrections {
+                conv_read: 1.0,
+                conv_write: 1.0,
+                btbx_read: 1.0,
+                btbx_write: 1.0,
+                main_read: 1.0,
+                main_write: 1.0,
+                page_read: 1.0,
+                page_write: 1.0,
+                page_search: 1.0,
+            },
+        };
+        let conv = probe.conv_array();
+        let btbx = probe.btbx_array();
+        let (main, page, _) = probe.pdede_arrays();
+        let corr = Corrections {
+            conv_read: anchor::CONV_READ / model.read_energy_pj(conv),
+            conv_write: anchor::CONV_WRITE / model.write_energy_pj(conv),
+            btbx_read: anchor::BTBX_READ / model.read_energy_pj(btbx),
+            btbx_write: anchor::BTBX_WRITE / model.write_energy_pj(btbx),
+            main_read: anchor::MAIN_READ / model.read_energy_pj(main),
+            main_write: anchor::MAIN_WRITE / model.write_energy_pj(main),
+            page_read: anchor::PAGE_READ / model.read_energy_pj(page),
+            page_write: anchor::PAGE_WRITE / model.write_energy_pj(page),
+            page_search: anchor::PAGE_SEARCH
+                / model.search_energy_pj(page, 16 * PAGE_ENTRY_BITS),
+        };
+        BtbEnergyModel {
+            model,
+            arch,
+            budget_bits,
+            corr,
+        }
+    }
+
+    /// The conventional BTB as one array.
+    pub fn conv_array(&self) -> SramArray {
+        let entries = self.budget_bits / 64;
+        SramArray::new(entries * 64, 8 * 64, 64)
+    }
+
+    /// BTB-X (+ BTB-XC, probed in parallel) as one array.
+    pub fn btbx_array(&self) -> SramArray {
+        let config = BtbXConfig::paper(self.arch);
+        let mut entries = 8usize;
+        while btbx_total_bits(entries + 8, self.arch) <= self.budget_bits {
+            entries += 8;
+        }
+        let sets = entries / 8;
+        let xc = (entries / XC_ENTRY_DIVISOR).max(1);
+        let total = sets as u64 * config.set_bits() + xc as u64 * BTBXC_ENTRY_BITS;
+        // One set read plus the parallel BTB-XC probe; a write touches one
+        // way: metadata plus the average offset field.
+        let read = config.set_bits() + BTBXC_ENTRY_BITS;
+        let write = 18 + config.offset_bits_per_set() / 8;
+        SramArray::new(total, read, write)
+    }
+
+    /// PDede's three arrays `(main, page, region)`.
+    pub fn pdede_arrays(&self) -> (SramArray, SramArray, SramArray) {
+        let s = PdedeSizing::for_budget(self.budget_bits);
+        let set_bits = PdedeSizing::set_bits(s.page_ptr_bits);
+        let main = SramArray::new(
+            s.main_sets as u64 * set_bits,
+            set_bits,
+            PdedeSizing::avg_entry_bits(s.page_ptr_bits).round() as u64,
+        );
+        let page = SramArray::new(
+            s.page_entries as u64 * PAGE_ENTRY_BITS,
+            PAGE_ENTRY_BITS, // pointer-indexed read of one entry
+            PAGE_ENTRY_BITS,
+        );
+        let region = SramArray::new(REGION_BITS, 22, 22);
+        (main, page, region)
+    }
+
+    /// Hoogerbrugge's mixed-entry BTB as one array.
+    pub fn mixed_array(&self) -> SramArray {
+        use btbx_core::hooger::SET_BITS;
+        let sets = (self.budget_bits / SET_BITS).max(1);
+        // Writes touch one entry; use the mean of short and full sizes.
+        SramArray::new(sets * SET_BITS, SET_BITS, (30 + 64) / 2)
+    }
+
+    /// Access latency of the primary structure in nanoseconds
+    /// (Section VI-E: Conv 0.36 ns, BTB-X 0.33 ns, PDede Main 0.34 ns +
+    /// Page 0.13 ns sequential). The idealized infinite BTB has no
+    /// physical latency and reports zero.
+    pub fn access_latency_ns(&self, org: OrgKind) -> f64 {
+        match org {
+            OrgKind::Conv => self.model.access_ns(self.conv_array()),
+            OrgKind::BtbX | OrgKind::BtbXUniform | OrgKind::BtbXNoXc => {
+                self.model.access_ns(self.btbx_array())
+            }
+            OrgKind::Pdede | OrgKind::RBtb => {
+                let (main, page, _) = self.pdede_arrays();
+                self.model.access_ns(main) + self.model.access_ns(page)
+            }
+            OrgKind::Hoogerbrugge => self.model.access_ns(self.mixed_array()),
+            OrgKind::Infinite => 0.0,
+        }
+    }
+
+    /// Build the Table V energy breakdown from measured access counts.
+    /// `extra_reads` charges estimated wrong-path lookups on the primary
+    /// structure (see `btbx_uarch::SimStats::wrong_path_btb_reads`).
+    pub fn breakdown(
+        &self,
+        org: OrgKind,
+        counts: &AccessCounts,
+        extra_reads: u64,
+    ) -> EnergyBreakdown {
+        let mut items = Vec::new();
+        let mut push = |label: &str, pj: f64, n: u64| {
+            items.push(EnergyItem {
+                label: label.to_string(),
+                per_access_pj: pj,
+                accesses: n,
+                total_uj: pj * n as f64 / 1e6,
+            });
+        };
+        let reads = counts.reads + extra_reads;
+        match org {
+            OrgKind::Conv => {
+                let a = self.conv_array();
+                push("read", self.corr.conv_read * self.model.read_energy_pj(a), reads);
+                push(
+                    "write",
+                    self.corr.conv_write * self.model.write_energy_pj(a),
+                    counts.writes,
+                );
+            }
+            OrgKind::BtbX | OrgKind::BtbXUniform | OrgKind::BtbXNoXc => {
+                let a = self.btbx_array();
+                push("read", self.corr.btbx_read * self.model.read_energy_pj(a), reads);
+                push(
+                    "write",
+                    self.corr.btbx_write * self.model.write_energy_pj(a),
+                    counts.writes,
+                );
+            }
+            OrgKind::Hoogerbrugge => {
+                let a = self.mixed_array();
+                // Uncorrected analytic values: the paper publishes no
+                // Cacti anchor for this related-work design.
+                push("read", self.model.read_energy_pj(a), reads);
+                push("write", self.model.write_energy_pj(a), counts.writes);
+            }
+            OrgKind::Infinite => {
+                // Idealized structure: no physical energy model.
+                push("read", 0.0, reads);
+                push("write", 0.0, counts.writes);
+            }
+            OrgKind::Pdede | OrgKind::RBtb => {
+                let (main, page, region) = self.pdede_arrays();
+                push(
+                    "main-btb read",
+                    self.corr.main_read * self.model.read_energy_pj(main),
+                    reads,
+                );
+                push(
+                    "main-btb write",
+                    self.corr.main_write * self.model.write_energy_pj(main),
+                    counts.writes,
+                );
+                push(
+                    "page-btb read",
+                    self.corr.page_read * self.model.read_energy_pj(page),
+                    counts.page_reads,
+                );
+                push(
+                    "page-btb write",
+                    self.corr.page_write * self.model.write_energy_pj(page),
+                    counts.page_writes,
+                );
+                push(
+                    "page-btb search",
+                    self.corr.page_search
+                        * self
+                            .model
+                            .search_energy_pj(page, 16 * PAGE_ENTRY_BITS),
+                    counts.page_searches,
+                );
+                push(
+                    "region-btb read",
+                    self.model.read_energy_pj(region),
+                    counts.region_reads,
+                );
+                push(
+                    "region-btb write",
+                    self.model.write_energy_pj(region),
+                    counts.region_writes,
+                );
+                push(
+                    "region-btb search",
+                    self.model
+                        .search_energy_pj(region, REGION_ENTRIES as u64 * 22),
+                    counts.region_searches,
+                );
+            }
+        }
+        let total_uj = items.iter().map(|i| i.total_uj).sum();
+        EnergyBreakdown {
+            org: org.id().to_string(),
+            items,
+            total_uj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_core::storage::BudgetPoint;
+
+    fn model() -> BtbEnergyModel {
+        BtbEnergyModel::new(BudgetPoint::Kb14_5.bits(Arch::Arm64), Arch::Arm64)
+    }
+
+    #[test]
+    fn geometries_match_the_paper_budget() {
+        let m = model();
+        assert_eq!(m.conv_array().total_bits, 118_784);
+        assert_eq!(m.btbx_array().total_bits, 118_784);
+        assert_eq!(m.btbx_array().read_bits, 288);
+        let (main, page, _) = m.pdede_arrays();
+        assert_eq!(page.total_bits, 512 * 20);
+        assert!(main.total_bits <= 108_456 && main.total_bits > 105_000);
+    }
+
+    #[test]
+    fn latency_ordering_matches_section_vi_e() {
+        let m = model();
+        let conv = m.access_latency_ns(OrgKind::Conv);
+        let btbx = m.access_latency_ns(OrgKind::BtbX);
+        let pdede = m.access_latency_ns(OrgKind::Pdede);
+        assert!(btbx < conv, "BTB-X must not be slower than Conv");
+        assert!(pdede > conv, "PDede's indirection adds latency");
+        // Magnitudes in the right neighbourhood (±8 %).
+        assert!((conv - 0.36).abs() / 0.36 < 0.08);
+        assert!((btbx - 0.33).abs() / 0.33 < 0.08);
+        assert!((pdede - 0.47).abs() / 0.47 < 0.08);
+    }
+
+    #[test]
+    fn table_v_reproduction_with_paper_access_counts() {
+        // Feed the paper's own access counts through the model: the
+        // totals should land near Table V's 2232 / 1058 / 999 µJ.
+        let m = model();
+        let conv = m.breakdown(
+            OrgKind::Conv,
+            &AccessCounts {
+                reads: 160_000_000,
+                writes: 4_360_000,
+                ..AccessCounts::default()
+            },
+            0,
+        );
+        assert!(
+            (conv.total_uj - 2232.0).abs() / 2232.0 < 0.02,
+            "conv total {}",
+            conv.total_uj
+        );
+        let pdede = m.breakdown(
+            OrgKind::Pdede,
+            &AccessCounts {
+                reads: 124_000_000,
+                writes: 574_000,
+                page_reads: 2_010_000,
+                page_writes: 20_400,
+                page_searches: 214_000,
+                ..AccessCounts::default()
+            },
+            0,
+        );
+        assert!(
+            (pdede.total_uj - 1058.0).abs() / 1058.0 < 0.02,
+            "pdede total {}",
+            pdede.total_uj
+        );
+        let btbx = m.breakdown(
+            OrgKind::BtbX,
+            &AccessCounts {
+                reads: 116_000_000,
+                writes: 403_000,
+                ..AccessCounts::default()
+            },
+            0,
+        );
+        assert!(
+            (btbx.total_uj - 999.0).abs() / 999.0 < 0.02,
+            "btbx total {}",
+            btbx.total_uj
+        );
+        // Ordering: Conv ≫ PDede > BTB-X.
+        assert!(conv.total_uj > pdede.total_uj);
+        assert!(pdede.total_uj > btbx.total_uj);
+    }
+
+    #[test]
+    fn wrong_path_reads_are_charged() {
+        let m = model();
+        let base = m.breakdown(
+            OrgKind::Conv,
+            &AccessCounts {
+                reads: 1000,
+                ..AccessCounts::default()
+            },
+            0,
+        );
+        let extra = m.breakdown(
+            OrgKind::Conv,
+            &AccessCounts {
+                reads: 1000,
+                ..AccessCounts::default()
+            },
+            500,
+        );
+        assert!(extra.total_uj > base.total_uj);
+        assert_eq!(extra.items[0].accesses, 1500);
+    }
+
+    #[test]
+    fn breakdown_items_sum_to_total() {
+        let m = model();
+        let b = m.breakdown(
+            OrgKind::Pdede,
+            &AccessCounts {
+                reads: 1_000_000,
+                writes: 10_000,
+                page_reads: 50_000,
+                page_writes: 500,
+                page_searches: 9_000,
+                region_reads: 50_000,
+                region_writes: 5,
+                region_searches: 9_000,
+                ..AccessCounts::default()
+            },
+            0,
+        );
+        let sum: f64 = b.items.iter().map(|i| i.total_uj).sum();
+        assert!((sum - b.total_uj).abs() < 1e-9);
+        assert_eq!(b.items.len(), 8);
+    }
+}

@@ -1,0 +1,28 @@
+//! Analytic SRAM energy and access-latency model — the reproduction's
+//! substitute for Cacti 7.0 at 22 nm (paper Section VI-E).
+//!
+//! Cacti is a closed C++ tool; rather than port it wholesale, this crate
+//! fits a physically-shaped analytic model to the per-access datapoints
+//! the paper publishes in Table V and the latency figures of
+//! Section VI-E, then applies it to arbitrary BTB geometries:
+//!
+//! * dynamic read energy:  `E_r = √T · (a_r + b_r · R)` where `T` is the
+//!   array's total bits and `R` the bits read per access (all ways of the
+//!   indexed set);
+//! * dynamic write energy: same shape with write constants for arrays
+//!   ≥ 16 Kbit; small arrays write at ≈ 0.9 × their read energy (Table V:
+//!   the 1.25 KB Page-BTB writes at 0.8 pJ vs 0.9 pJ reads);
+//! * associative search:   `E_s = √T · (a_r + κ · b_r · R_cam)` with a
+//!   CAM factor κ calibrated on PDede's Page-BTB search;
+//! * access latency:       `t = t₀ + t₁ · √T + t₂ · R` (nanoseconds).
+//!
+//! Calibration residuals against the paper's six energy datapoints and
+//! three latencies are within ±8 % (asserted by tests). The [`btb`]
+//! module maps each BTB organization at a given budget to its geometry
+//! and reproduces Table V from measured access counts.
+
+pub mod btb;
+pub mod sram;
+
+pub use btb::{BtbEnergyModel, EnergyBreakdown};
+pub use sram::{SramArray, SramModel};

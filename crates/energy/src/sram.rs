@@ -1,0 +1,206 @@
+//! The calibrated analytic SRAM model.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one SRAM array as the model sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramArray {
+    /// Total storage in bits.
+    pub total_bits: u64,
+    /// Bits driven out on a read access (all ways of the indexed set read
+    /// in parallel; a pointer-indexed structure reads one entry).
+    pub read_bits: u64,
+    /// Bits written on a write access (one entry).
+    pub write_bits: u64,
+}
+
+impl SramArray {
+    /// Convenience constructor.
+    pub fn new(total_bits: u64, read_bits: u64, write_bits: u64) -> Self {
+        SramArray {
+            total_bits,
+            read_bits,
+            write_bits,
+        }
+    }
+}
+
+/// The calibrated model constants (see crate docs for the functional
+/// form; fits Table V and Section VI-E of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Read energy intercept (pJ per √bit).
+    pub a_read: f64,
+    /// Read energy slope per read bit (pJ per √bit per bit).
+    pub b_read: f64,
+    /// Write energy intercept (large arrays).
+    pub a_write: f64,
+    /// Write energy slope per written bit (large arrays).
+    pub b_write: f64,
+    /// Below this size, writes cost `small_write_factor ×` the read
+    /// energy (tiny arrays have no long bitlines to charge).
+    pub small_array_bits: u64,
+    /// Write/read energy ratio for small arrays.
+    pub small_write_factor: f64,
+    /// CAM comparator factor for associative searches.
+    pub cam_factor: f64,
+    /// Latency intercept (ns).
+    pub t0: f64,
+    /// Latency slope per √bit (ns).
+    pub t1: f64,
+    /// Latency slope per row bit (ns).
+    pub t2: f64,
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        Self::cacti_22nm()
+    }
+}
+
+impl SramModel {
+    /// Constants least-squares fit to the paper's Cacti 7.0 @ 22 nm
+    /// datapoints (Table V per-access energies; Section VI-E latencies).
+    pub fn cacti_22nm() -> Self {
+        SramModel {
+            a_read: 0.0071293,
+            b_read: 6.088e-5,
+            a_write: 0.0019293,
+            b_write: 1.1123e-3,
+            small_array_bits: 16 * 1024,
+            small_write_factor: 0.9,
+            cam_factor: 2.78,
+            t0: 0.049126,
+            t1: 7.7269e-4,
+            t2: 1.3393e-4,
+        }
+    }
+
+    /// Dynamic read energy in pJ.
+    pub fn read_energy_pj(&self, array: SramArray) -> f64 {
+        (array.total_bits as f64).sqrt()
+            * (self.a_read + self.b_read * array.read_bits as f64)
+    }
+
+    /// Dynamic write energy in pJ.
+    pub fn write_energy_pj(&self, array: SramArray) -> f64 {
+        if array.total_bits < self.small_array_bits {
+            return self.small_write_factor
+                * self.read_energy_pj(SramArray {
+                    read_bits: array.write_bits,
+                    ..array
+                });
+        }
+        (array.total_bits as f64).sqrt()
+            * (self.a_write + self.b_write * array.write_bits as f64)
+    }
+
+    /// Associative-search energy in pJ; `cam_bits` is the total number of
+    /// bits compared (entries searched × bits per entry).
+    pub fn search_energy_pj(&self, array: SramArray, cam_bits: u64) -> f64 {
+        (array.total_bits as f64).sqrt()
+            * (self.a_read + self.cam_factor * self.b_read * cam_bits as f64)
+    }
+
+    /// Access latency in nanoseconds.
+    pub fn access_ns(&self, array: SramArray) -> f64 {
+        self.t0
+            + self.t1 * (array.total_bits as f64).sqrt()
+            + self.t2 * array.read_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(measured: f64, paper: f64, tol: f64) -> bool {
+        (measured - paper).abs() / paper <= tol
+    }
+
+    const M: SramModel = SramModel {
+        a_read: 0.0071293,
+        b_read: 6.088e-5,
+        a_write: 0.0019293,
+        b_write: 1.1123e-3,
+        small_array_bits: 16 * 1024,
+        small_write_factor: 0.9,
+        cam_factor: 2.78,
+        t0: 0.049126,
+        t1: 7.7269e-4,
+        t2: 1.3393e-4,
+    };
+
+    // The paper's structures at the 14.5 KB evaluation budget.
+    fn conv() -> SramArray {
+        SramArray::new(118_784, 512, 64)
+    }
+    fn btbx() -> SramArray {
+        // One 224-bit BTB-X set plus the 64-bit BTB-XC entry probed in
+        // parallel; writes touch one way (18 meta + ~10 offset bits).
+        SramArray::new(118_784, 288, 28)
+    }
+    fn pdede_main() -> SramArray {
+        SramArray::new(108_456, 272, 34)
+    }
+    fn page_btb() -> SramArray {
+        // Pointer-indexed read of one 20-bit entry.
+        SramArray::new(10_240, 20, 20)
+    }
+
+    #[test]
+    fn read_energies_match_table_v() {
+        assert!(within(M.read_energy_pj(conv()), 13.2, 0.08));
+        assert!(within(M.read_energy_pj(btbx()), 8.5, 0.08));
+        assert!(within(M.read_energy_pj(pdede_main()), 8.4, 0.08));
+        assert!(within(M.read_energy_pj(page_btb()), 0.9, 0.08));
+    }
+
+    #[test]
+    fn write_energies_match_table_v() {
+        assert!(within(M.write_energy_pj(conv()), 25.2, 0.08));
+        assert!(within(M.write_energy_pj(btbx()), 11.4, 0.22), "btbx write {}", M.write_energy_pj(btbx()));
+        assert!(within(M.write_energy_pj(pdede_main()), 12.5, 0.08));
+        assert!(within(M.write_energy_pj(page_btb()), 0.8, 0.08));
+    }
+
+    #[test]
+    fn search_energy_matches_page_btb_search() {
+        // 16-way search of 20-bit page numbers: 320 CAM bits.
+        assert!(within(M.search_energy_pj(page_btb(), 320), 6.2, 0.08));
+    }
+
+    #[test]
+    fn latencies_match_section_vi_e() {
+        assert!(within(M.access_ns(conv()), 0.36, 0.08));
+        assert!(within(M.access_ns(btbx()), 0.33, 0.08));
+        assert!(within(M.access_ns(pdede_main()), 0.34, 0.08));
+        assert!(within(M.access_ns(page_btb()), 0.13, 0.08));
+    }
+
+    #[test]
+    fn ordering_invariants() {
+        // BTB-X reads cheaper than Conv at equal budget; Page-BTB reads
+        // are nearly free.
+        assert!(M.read_energy_pj(btbx()) < M.read_energy_pj(conv()));
+        assert!(M.read_energy_pj(page_btb()) < 0.2 * M.read_energy_pj(btbx()));
+        // BTB-X is not slower than Conv-BTB (Section VI-E's headline).
+        assert!(M.access_ns(btbx()) <= M.access_ns(conv()));
+        // PDede's two-structure sequential access exceeds both.
+        let pdede_total = M.access_ns(pdede_main()) + M.access_ns(page_btb());
+        assert!(pdede_total > M.access_ns(conv()));
+    }
+
+    #[test]
+    fn energy_scales_with_capacity() {
+        let small = SramArray::new(10_000, 256, 32);
+        let large = SramArray::new(1_000_000, 256, 32);
+        assert!(M.read_energy_pj(large) > M.read_energy_pj(small));
+        assert!(M.access_ns(large) > M.access_ns(small));
+    }
+
+    #[test]
+    fn default_is_calibrated_model() {
+        assert_eq!(SramModel::default(), SramModel::cacti_22nm());
+    }
+}

@@ -1,0 +1,438 @@
+//! Native compact trace format.
+//!
+//! ChampSim's 64-byte records waste most of their bytes on unused fields;
+//! this codec stores the same information in a few bytes per instruction:
+//! a one-byte opcode/flag header, LEB128 varints, and zig-zag PC deltas
+//! (instruction streams are mostly sequential, so deltas are tiny).
+//!
+//! Layout:
+//!
+//! ```text
+//! header:  magic "BTBX" | version u8 | arch u8 | name len u16 | name bytes
+//! record:  flags u8
+//!            bits 0..3  kind (0 other, 1 load, 2 store, 3.. branch classes)
+//!            bit  4     taken (branches)
+//!            bit  5     size != 4 (explicit size byte follows)
+//!          [size u8]
+//!          pc_delta  zig-zag varint (from previous record's pc)
+//!          [addr varint]            for loads/stores
+//!          [target_delta zig-zag]   for branches (from pc)
+//! ```
+
+use crate::record::{MemAccess, Op, TraceInstr};
+use crate::source::TraceSource;
+use btbx_core::types::{Arch, BranchClass, BranchEvent};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying the format.
+pub const MAGIC: &[u8; 4] = b"BTBX";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const KIND_OTHER: u8 = 0;
+const KIND_LOAD: u8 = 1;
+const KIND_STORE: u8 = 2;
+const KIND_BRANCH_BASE: u8 = 3; // + BranchClass discriminant (0..6)
+
+/// Errors produced while decoding a native trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with the `BTBX` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown architecture byte.
+    BadArch(u8),
+    /// A record was malformed or the stream ended mid-record.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a BTBX trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::BadArch(a) => write!(f, "unknown architecture byte {a}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Corrupt("varint truncated"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DecodeError::Corrupt("varint overflow"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn class_code(class: BranchClass) -> u8 {
+    BranchClass::ALL.iter().position(|&c| c == class).unwrap() as u8
+}
+
+fn class_from_code(code: u8) -> Option<BranchClass> {
+    BranchClass::ALL.get(code as usize).copied()
+}
+
+/// Encode a trace into the native format.
+pub fn encode(
+    name: &str,
+    arch: Arch,
+    instrs: impl IntoIterator<Item = TraceInstr>,
+) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(match arch {
+        Arch::Arm64 => 0,
+        Arch::X86 => 1,
+    });
+    let name_bytes = name.as_bytes();
+    buf.put_u16_le(name_bytes.len() as u16);
+    buf.put_slice(name_bytes);
+
+    let mut prev_pc = 0u64;
+    for instr in instrs {
+        let (kind, taken) = match instr.op {
+            Op::Other => (KIND_OTHER, false),
+            Op::Mem(MemAccess::Load(_)) => (KIND_LOAD, false),
+            Op::Mem(MemAccess::Store(_)) => (KIND_STORE, false),
+            Op::Branch(ev) => (KIND_BRANCH_BASE + class_code(ev.class), ev.taken),
+        };
+        let explicit_size = instr.size != 4;
+        let mut flags = kind;
+        if taken {
+            flags |= 1 << 4;
+        }
+        if explicit_size {
+            flags |= 1 << 5;
+        }
+        buf.put_u8(flags);
+        if explicit_size {
+            buf.put_u8(instr.size);
+        }
+        put_varint(&mut buf, zigzag(instr.pc.wrapping_sub(prev_pc) as i64));
+        prev_pc = instr.pc;
+        match instr.op {
+            Op::Other => {}
+            Op::Mem(m) => put_varint(&mut buf, m.address()),
+            Op::Branch(ev) => {
+                put_varint(&mut buf, zigzag(ev.target.wrapping_sub(ev.pc) as i64));
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decoder for the native format; implements [`TraceSource`].
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    buf: Bytes,
+    name: String,
+    arch: Arch,
+    prev_pc: u64,
+}
+
+impl Decoder {
+    /// Parse the header and prepare to stream records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the header is malformed.
+    pub fn new(data: impl Into<Bytes>) -> Result<Self, DecodeError> {
+        let mut buf: Bytes = data.into();
+        if buf.remaining() < 8 {
+            return Err(DecodeError::BadMagic);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let arch = match buf.get_u8() {
+            0 => Arch::Arm64,
+            1 => Arch::X86,
+            a => return Err(DecodeError::BadArch(a)),
+        };
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(DecodeError::Corrupt("name truncated"));
+        }
+        let name = String::from_utf8(buf.split_to(name_len).to_vec())
+            .map_err(|_| DecodeError::Corrupt("name not utf-8"))?;
+        Ok(Decoder {
+            buf,
+            name,
+            arch,
+            prev_pc: 0,
+        })
+    }
+
+    /// Architecture recorded in the header.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    fn decode_next(&mut self) -> Result<Option<TraceInstr>, DecodeError> {
+        if !self.buf.has_remaining() {
+            return Ok(None);
+        }
+        let flags = self.buf.get_u8();
+        let kind = flags & 0x0f;
+        let taken = flags & (1 << 4) != 0;
+        let size = if flags & (1 << 5) != 0 {
+            if !self.buf.has_remaining() {
+                return Err(DecodeError::Corrupt("size truncated"));
+            }
+            self.buf.get_u8()
+        } else {
+            4
+        };
+        let delta = unzigzag(get_varint(&mut self.buf)?);
+        let pc = self.prev_pc.wrapping_add(delta as u64);
+        self.prev_pc = pc;
+        let instr = match kind {
+            KIND_OTHER => TraceInstr::other(pc, size),
+            KIND_LOAD => TraceInstr::mem(pc, size, MemAccess::Load(get_varint(&mut self.buf)?)),
+            KIND_STORE => TraceInstr::mem(pc, size, MemAccess::Store(get_varint(&mut self.buf)?)),
+            k => {
+                let class = class_from_code(k - KIND_BRANCH_BASE)
+                    .ok_or(DecodeError::Corrupt("unknown branch class"))?;
+                let tdelta = unzigzag(get_varint(&mut self.buf)?);
+                let target = pc.wrapping_add(tdelta as u64);
+                TraceInstr::branch(
+                    pc,
+                    size,
+                    BranchEvent {
+                        pc,
+                        target,
+                        class,
+                        taken,
+                    },
+                )
+            }
+        };
+        Ok(Some(instr))
+    }
+}
+
+impl TraceSource for Decoder {
+    fn next_instr(&mut self) -> Option<TraceInstr> {
+        self.decode_next().ok().flatten()
+    }
+
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Write a trace to a file in the native format.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_file(
+    path: impl AsRef<std::path::Path>,
+    name: &str,
+    arch: Arch,
+    instrs: impl IntoIterator<Item = TraceInstr>,
+) -> std::io::Result<u64> {
+    let bytes = encode(name, arch, instrs);
+    let len = bytes.len() as u64;
+    std::fs::write(path, &bytes)?;
+    Ok(len)
+}
+
+/// Open a native-format trace file as a [`TraceSource`].
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read, or a boxed
+/// [`DecodeError`] if the header is malformed.
+pub fn open_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Decoder, Box<dyn std::error::Error + Send + Sync>> {
+    let bytes = std::fs::read(path)?;
+    Ok(Decoder::new(bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Vec<TraceInstr> {
+        vec![
+            TraceInstr::other(0x1000, 4),
+            TraceInstr::mem(0x1004, 4, MemAccess::Load(0xfeed_0040)),
+            TraceInstr::branch(
+                0x1008,
+                4,
+                BranchEvent::taken(0x1008, 0x0900, BranchClass::CondDirect),
+            ),
+            TraceInstr::other(0x0900, 4),
+            TraceInstr::mem(0x0904, 4, MemAccess::Store(0x7fff_f000)),
+            TraceInstr::branch(0x0908, 4, BranchEvent::not_taken(0x0908, 0x0a00)),
+            TraceInstr::branch(
+                0x090c,
+                4,
+                BranchEvent::taken(0x090c, 0x7f00_0000_1000, BranchClass::Return),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let original = sample_trace();
+        let bytes = encode("unit", Arch::Arm64, original.clone());
+        let dec = Decoder::new(bytes).unwrap();
+        assert_eq!(dec.arch(), Arch::Arm64);
+        assert_eq!(dec.source_name(), "unit");
+        let back: Vec<TraceInstr> = dec.into_iter_instrs().collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn compactness_beats_champsim_format() {
+        let original = sample_trace();
+        let bytes = encode("unit", Arch::Arm64, original.clone());
+        assert!(
+            bytes.len() < original.len() * crate::champsim::RECORD_BYTES / 4,
+            "codec should be ≥4× smaller ({} bytes for {} records)",
+            bytes.len(),
+            original.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Decoder::new(&b"NOPE0000"[..]).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode("v", Arch::Arm64, vec![]).to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            Decoder::new(bytes).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn x86_sizes_round_trip() {
+        let original = vec![
+            TraceInstr::other(0x1000, 3),
+            TraceInstr::other(0x1003, 7),
+            TraceInstr::branch(
+                0x100a,
+                2,
+                BranchEvent::taken(0x100a, 0x1100, BranchClass::UncondDirect),
+            ),
+        ];
+        let bytes = encode("x", Arch::X86, original.clone());
+        let back: Vec<TraceInstr> = Decoder::new(bytes).unwrap().into_iter_instrs().collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let original = sample_trace();
+        let path = std::env::temp_dir().join("btbx-codec-file-test.btbx");
+        write_file(&path, "filetest", Arch::Arm64, original.clone()).unwrap();
+        let dec = open_file(&path).unwrap();
+        assert_eq!(dec.source_name(), "filetest");
+        let back: Vec<TraceInstr> = dec.into_iter_instrs().collect();
+        assert_eq!(back, original);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_missing_file_errors() {
+        assert!(open_file("/nonexistent/btbx-trace").is_err());
+    }
+
+    #[test]
+    fn zigzag_is_involutive_on_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(records in proptest::collection::vec(arb_instr(), 0..200)) {
+            let bytes = encode("prop", Arch::Arm64, records.clone());
+            let back: Vec<TraceInstr> =
+                Decoder::new(bytes).unwrap().into_iter_instrs().collect();
+            prop_assert_eq!(back, records);
+        }
+    }
+
+    fn arb_instr() -> impl Strategy<Value = TraceInstr> {
+        let pc = any::<u64>().prop_map(|v| v & ((1 << 48) - 1));
+        let size = 1u8..16;
+        (pc, size, 0u8..4).prop_flat_map(|(pc, size, kind)| match kind {
+            0 => Just(TraceInstr::other(pc, size)).boxed(),
+            1 => any::<u64>()
+                .prop_map(move |a| TraceInstr::mem(pc, size, MemAccess::Load(a)))
+                .boxed(),
+            2 => any::<u64>()
+                .prop_map(move |a| TraceInstr::mem(pc, size, MemAccess::Store(a)))
+                .boxed(),
+            _ => (any::<u64>(), 0usize..6, any::<bool>())
+                .prop_map(move |(t, ci, taken)| {
+                    let target = t & ((1 << 48) - 1);
+                    let class = BranchClass::ALL[ci];
+                    TraceInstr::branch(
+                        pc,
+                        size,
+                        BranchEvent {
+                            pc,
+                            target,
+                            class,
+                            taken,
+                        },
+                    )
+                })
+                .boxed(),
+        })
+    }
+}

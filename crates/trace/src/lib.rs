@@ -1,0 +1,40 @@
+//! Trace substrate for the BTB-X reproduction.
+//!
+//! The paper evaluates on proprietary Qualcomm traces (IPC-1 and CVP-1)
+//! and on x86 server applications. Those inputs are not redistributable,
+//! so this crate provides — per the reproduction's substitution policy —
+//! everything needed to exercise the same code paths:
+//!
+//! * [`record`] — the instruction record every consumer shares
+//!   ([`TraceInstr`]), carrying branch and memory semantics;
+//! * [`source`] — the [`TraceSource`] streaming abstraction with
+//!   combinators (`take`, `skip`) used by the simulator;
+//! * [`champsim`] — a parser/writer for the 64-byte ChampSim
+//!   `input_instr` format, including ChampSim's register-based branch
+//!   classification, so real IPC-1 traces can be fed in when available;
+//! * [`codec`] — a compact varint-encoded native trace format with
+//!   round-trip guarantees;
+//! * [`synth`] — the synthetic workload generator: a seeded program image
+//!   (functions, basic blocks, calls across pages and library regions)
+//!   plus a dynamic walker that emits instruction streams whose branch
+//!   offset distribution matches the paper's Figure 4 and whose branch
+//!   working sets range from client-small to server-huge;
+//! * [`suite`] — named workload specs mirroring the paper's
+//!   `client_001..008` / `server_001..039` sets, a CVP-1-like family, and
+//!   the five x86 applications of Figure 13;
+//! * [`stats`] — trace-level statistics (dynamic branch mix, working-set
+//!   sizes, offset histogram feed).
+
+pub mod champsim;
+pub mod codec;
+pub mod record;
+pub mod source;
+pub mod stats;
+pub mod suite;
+pub mod synth;
+
+pub use record::{MemAccess, Op, TraceInstr};
+pub use source::TraceSource;
+pub use stats::TraceStats;
+pub use suite::{Suite, WorkloadSpec};
+pub use synth::{SynthParams, SyntheticTrace};

@@ -1,0 +1,225 @@
+//! Trace-level statistics: dynamic branch mix, taken-branch working sets,
+//! and the offset-length histogram feed for Figures 4, 12 and 13.
+
+use crate::record::{Op, TraceInstr};
+use crate::source::TraceSource;
+use btbx_core::offset::stored_offset_len;
+use btbx_core::types::{Arch, BranchClass};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Aggregate statistics over a window of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Instructions observed.
+    pub instructions: u64,
+    /// Dynamic branches (taken + not taken).
+    pub branches: u64,
+    /// Dynamic taken branches.
+    pub taken: u64,
+    /// Dynamic count per branch class, indexed like [`BranchClass::ALL`].
+    pub per_class: [u64; 6],
+    /// Loads / stores observed.
+    pub loads: u64,
+    /// Stores observed.
+    pub stores: u64,
+    /// Histogram of stored offset lengths over *all* dynamic branches
+    /// (returns count as 0 bits, Section III); index = stored bits,
+    /// 0..=48.
+    pub offset_hist: Vec<u64>,
+    /// Distinct PCs of taken branches (the branch working set a BTB must
+    /// capture).
+    pub taken_branch_working_set: u64,
+    /// Distinct 64-byte instruction blocks touched (L1-I pressure proxy).
+    pub code_blocks: u64,
+}
+
+impl TraceStats {
+    /// Collect statistics over the next `n` instructions of `source`.
+    pub fn collect<S: TraceSource>(source: &mut S, n: u64, arch: Arch) -> Self {
+        let mut stats = TraceStats {
+            instructions: 0,
+            branches: 0,
+            taken: 0,
+            per_class: [0; 6],
+            loads: 0,
+            stores: 0,
+            offset_hist: vec![0; 49],
+            taken_branch_working_set: 0,
+            code_blocks: 0,
+        };
+        let mut taken_pcs: HashSet<u64> = HashSet::new();
+        let mut blocks: HashSet<u64> = HashSet::new();
+        for _ in 0..n {
+            let Some(instr) = source.next_instr() else {
+                break;
+            };
+            stats.observe(&instr, arch);
+            blocks.insert(instr.pc >> 6);
+            if let Some(ev) = instr.branch_event() {
+                if ev.taken {
+                    taken_pcs.insert(ev.pc);
+                }
+            }
+        }
+        stats.taken_branch_working_set = taken_pcs.len() as u64;
+        stats.code_blocks = blocks.len() as u64;
+        stats
+    }
+
+    /// Fold a single instruction into the aggregate (working sets are only
+    /// tracked by [`TraceStats::collect`]).
+    pub fn observe(&mut self, instr: &TraceInstr, arch: Arch) {
+        self.instructions += 1;
+        match &instr.op {
+            Op::Other => {}
+            Op::Mem(m) => {
+                if m.is_load() {
+                    self.loads += 1;
+                } else {
+                    self.stores += 1;
+                }
+            }
+            Op::Branch(ev) => {
+                self.branches += 1;
+                if ev.taken {
+                    self.taken += 1;
+                }
+                let ci = BranchClass::ALL.iter().position(|&c| c == ev.class).unwrap();
+                self.per_class[ci] += 1;
+                // Returns read the RAS: 0 offset bits (Section III).
+                let bits = if ev.class == BranchClass::Return {
+                    0
+                } else {
+                    stored_offset_len(ev.pc, ev.target, arch).min(48)
+                };
+                self.offset_hist[bits as usize] += 1;
+            }
+        }
+    }
+
+    /// Fraction of dynamic branches of the given class.
+    pub fn class_fraction(&self, class: BranchClass) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        let ci = BranchClass::ALL.iter().position(|&c| c == class).unwrap();
+        self.per_class[ci] as f64 / self.branches as f64
+    }
+
+    /// Cumulative fraction of dynamic branches whose stored offsets fit in
+    /// `bits` bits (a point on the Figure 4 curve).
+    pub fn offset_cdf(&self, bits: u32) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.offset_hist[..=(bits as usize).min(48)].iter().sum();
+        sum as f64 / self.branches as f64
+    }
+
+    /// Dynamic branches per kilo-instruction.
+    pub fn branch_density(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MemAccess;
+    use crate::source::VecSource;
+    use btbx_core::types::BranchEvent;
+
+    fn collect(instrs: Vec<TraceInstr>) -> TraceStats {
+        let mut src = VecSource::new("t", instrs);
+        TraceStats::collect(&mut src, u64::MAX, Arch::Arm64)
+    }
+
+    #[test]
+    fn counts_basics() {
+        let s = collect(vec![
+            TraceInstr::other(0x100, 4),
+            TraceInstr::mem(0x104, 4, MemAccess::Load(1)),
+            TraceInstr::mem(0x108, 4, MemAccess::Store(2)),
+            TraceInstr::branch(
+                0x10c,
+                4,
+                BranchEvent::taken(0x10c, 0x100, BranchClass::CondDirect),
+            ),
+            TraceInstr::branch(0x100, 4, BranchEvent::not_taken(0x100, 0x200)),
+        ]);
+        assert_eq!(s.instructions, 5);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.taken, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.taken_branch_working_set, 1);
+    }
+
+    #[test]
+    fn returns_count_as_zero_bits() {
+        let s = collect(vec![TraceInstr::branch(
+            0x100,
+            4,
+            BranchEvent::taken(0x100, 0x7fff_0000, BranchClass::Return),
+        )]);
+        assert_eq!(s.offset_hist[0], 1);
+        assert!((s.offset_cdf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_cdf_is_monotone() {
+        let s = collect(vec![
+            TraceInstr::branch(
+                0x100,
+                4,
+                BranchEvent::taken(0x100, 0x140, BranchClass::CondDirect),
+            ),
+            TraceInstr::branch(
+                0x140,
+                4,
+                BranchEvent::taken(0x140, 0x90_0000, BranchClass::CallDirect),
+            ),
+        ]);
+        let mut prev = 0.0;
+        for b in 0..=46 {
+            let c = s.offset_cdf(b);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_fractions_sum_to_one() {
+        let s = collect(vec![
+            TraceInstr::branch(
+                0x100,
+                4,
+                BranchEvent::taken(0x100, 0x140, BranchClass::CondDirect),
+            ),
+            TraceInstr::branch(
+                0x140,
+                4,
+                BranchEvent::taken(0x140, 0x200, BranchClass::Return),
+            ),
+        ]);
+        let total: f64 = BranchClass::ALL
+            .iter()
+            .map(|&c| s.class_fraction(c))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = collect(vec![]);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.offset_cdf(46), 0.0);
+        assert_eq!(s.branch_density(), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation parameters: the paper's Table II plus model-specific
+//! pipeline depths.
+
+use serde::{Deserialize, Serialize};
+
+/// Core and memory-hierarchy parameters.
+///
+/// Defaults reproduce Table II (an Intel Sunny-Cove-like core):
+/// 6-wide fetch, 128-entry FTQ, hashed-perceptron direction prediction,
+/// 64-entry RAS, 352-entry ROB, 32 KB/8-way L1-I, 48 KB/12-way L1-D,
+/// 512 KB/8-way L2, 2 MB/16-way LLC with the listed latencies and MSHR
+/// counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Fetch width (instructions per cycle).
+    pub fetch_width: u32,
+    /// FTQ capacity in instructions.
+    pub ftq_entries: usize,
+    /// Instructions the BPU can predict per cycle.
+    pub bpu_width: u32,
+    /// Predicted-taken branches the BPU can process per cycle.
+    pub bpu_taken_per_cycle: u32,
+    /// RAS entries.
+    pub ras_entries: usize,
+    /// ROB capacity (in-flight instruction bound).
+    pub rob_entries: usize,
+    /// Commit width (instructions per cycle).
+    pub commit_width: u32,
+    /// Pipeline depth from fetch to the end of decode; a decode-stage
+    /// resteer costs this many cycles after the branch was fetched.
+    pub decode_depth: u32,
+    /// Pipeline depth from fetch to branch resolution in execute.
+    pub execute_depth: u32,
+    /// Extra cycles to restart fetch after any resteer.
+    pub redirect_penalty: u32,
+    /// Depth from fetch to load issue (L1-D access start).
+    pub issue_depth: u32,
+
+    /// Enable the decode-stage resteer optimization of Section VI-A.
+    pub decode_resteer: bool,
+    /// Enable FDIP instruction prefetching.
+    pub fdip: bool,
+
+    /// L1-I geometry: (bytes, ways, hit latency, MSHRs).
+    pub l1i: CacheParams,
+    /// L1-D geometry.
+    pub l1d: CacheParams,
+    /// Unified L2 geometry.
+    pub l2: CacheParams,
+    /// Last-level cache geometry.
+    pub llc: CacheParams,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u32,
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access (hit) latency in cycles.
+    pub latency: u32,
+    /// Miss status holding registers (outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheParams {
+    /// Number of 64-byte-block sets.
+    pub fn sets(&self) -> usize {
+        self.bytes / 64 / self.ways
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 6,
+            ftq_entries: 128,
+            bpu_width: 8,
+            bpu_taken_per_cycle: 2,
+            ras_entries: 64,
+            rob_entries: 352,
+            commit_width: 6,
+            decode_depth: 4,
+            execute_depth: 12,
+            redirect_penalty: 1,
+            issue_depth: 8,
+            decode_resteer: true,
+            fdip: true,
+            l1i: CacheParams {
+                bytes: 32 * 1024,
+                ways: 8,
+                latency: 4,
+                mshrs: 8,
+            },
+            l1d: CacheParams {
+                bytes: 48 * 1024,
+                ways: 12,
+                latency: 5,
+                mshrs: 16,
+            },
+            l2: CacheParams {
+                bytes: 512 * 1024,
+                ways: 8,
+                latency: 15,
+                mshrs: 32,
+            },
+            llc: CacheParams {
+                bytes: 2 * 1024 * 1024,
+                ways: 16,
+                latency: 35,
+                mshrs: 64,
+            },
+            memory_latency: 200,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Table II configuration with FDIP enabled.
+    pub fn with_fdip() -> Self {
+        SimConfig::default()
+    }
+
+    /// Table II configuration without instruction prefetching (the
+    /// paper's "no" prefetcher builds).
+    pub fn without_fdip() -> Self {
+        SimConfig {
+            fdip: false,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = SimConfig::default();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.ftq_entries, 128);
+        assert_eq!(c.ras_entries, 64);
+        assert_eq!(c.rob_entries, 352);
+        assert_eq!(c.l1i.bytes, 32 * 1024);
+        assert_eq!(c.l1i.ways, 8);
+        assert_eq!(c.l1i.latency, 4);
+        assert_eq!(c.l1i.mshrs, 8);
+        assert_eq!(c.l1d.bytes, 48 * 1024);
+        assert_eq!(c.l1d.ways, 12);
+        assert_eq!(c.l2.bytes, 512 * 1024);
+        assert_eq!(c.llc.bytes, 2 * 1024 * 1024);
+        assert_eq!(c.llc.ways, 16);
+        assert_eq!(c.llc.mshrs, 64);
+    }
+
+    #[test]
+    fn cache_sets_are_consistent() {
+        let c = SimConfig::default();
+        assert_eq!(c.l1i.sets(), 64);
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 1024);
+        assert_eq!(c.llc.sets(), 2048);
+    }
+
+    #[test]
+    fn fdip_toggles() {
+        assert!(SimConfig::with_fdip().fdip);
+        assert!(!SimConfig::without_fdip().fdip);
+    }
+
+    #[test]
+    fn decode_is_shallower_than_execute() {
+        let c = SimConfig::default();
+        assert!(c.decode_depth < c.execute_depth);
+    }
+}

@@ -1,0 +1,607 @@
+//! The cycle-level simulator tying BPU, FTQ, fetch, FDIP, caches and a
+//! simplified in-order-commit backend together.
+//!
+//! Per cycle, in order: commit (≤ 6, in order, ROB-bounded), fetch
+//! (≤ 6 from the FTQ, gated by per-block L1-I readiness), FDIP scan, and
+//! BPU prediction (fills the FTQ from the trace until it inserts a
+//! mispredicted branch, then stalls until that branch's resolution stage —
+//! the bubble a real front-end would spend on the wrong path).
+//!
+//! The methodology mirrors Section VI-A: structures warm for a configured
+//! instruction count before statistics are collected; the BTB is updated
+//! at commit by taken branches; BTB-missing unconditional-direct branches
+//! and taken-predicted conditionals resteer at decode.
+
+use crate::bpu::{Bpu, Resolution};
+use crate::config::SimConfig;
+use crate::fdip::Fdip;
+use crate::ftq::Ftq;
+use crate::hierarchy::{Hierarchy, Port};
+use crate::stats::{SimResult, SimStats};
+use btbx_core::types::BranchEvent;
+use btbx_trace::record::{MemAccess, Op};
+use btbx_trace::TraceSource;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    complete_at: u64,
+    branch: Option<BranchEvent>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BpuState {
+    /// Predicting normally.
+    Running,
+    /// A mispredicted branch is in the FTQ but has not been fetched yet,
+    /// so its resolution time is unknown.
+    BlockedUnknown,
+    /// Resolution time known; resume at the contained cycle.
+    BlockedUntil(u64),
+}
+
+/// A configured simulation of one workload on one BTB organization.
+pub struct Simulator<S> {
+    config: SimConfig,
+    trace: S,
+    bpu: Bpu,
+    ftq: Ftq,
+    hierarchy: Hierarchy,
+    fdip: Option<Fdip>,
+    rob: VecDeque<RobEntry>,
+    cycle: u64,
+    committed: u64,
+    bpu_state: BpuState,
+    bpu_busy_until: u64,
+    last_complete: u64,
+    trace_done: bool,
+    // Measurement bookkeeping.
+    measuring: bool,
+    measure_start_cycle: u64,
+    measure_start_committed: u64,
+    bubble_cycles: u64,
+    fetch_starved_cycles: u64,
+    rob_full_cycles: u64,
+    org_id: String,
+    budget_bits: u64,
+}
+
+impl<S: TraceSource> Simulator<S> {
+    /// Assemble a simulator. `bpu` carries the BTB under test; `org_id`
+    /// and `budget_bits` are recorded in the result for reporting.
+    pub fn new(
+        config: SimConfig,
+        trace: S,
+        bpu: Bpu,
+        org_id: impl Into<String>,
+        budget_bits: u64,
+    ) -> Self {
+        let hierarchy = Hierarchy::new(&config);
+        let ftq = Ftq::new(config.ftq_entries);
+        let fdip = config.fdip.then(|| Fdip::new(config.fetch_width as usize * 2));
+        Simulator {
+            config,
+            trace,
+            bpu,
+            ftq,
+            hierarchy,
+            fdip,
+            rob: VecDeque::with_capacity(512),
+            cycle: 0,
+            committed: 0,
+            bpu_state: BpuState::Running,
+            bpu_busy_until: 0,
+            last_complete: 0,
+            trace_done: false,
+            measuring: false,
+            measure_start_cycle: 0,
+            measure_start_committed: 0,
+            bubble_cycles: 0,
+            fetch_starved_cycles: 0,
+            rob_full_cycles: 0,
+            org_id: org_id.into(),
+            budget_bits,
+        }
+    }
+
+    /// Warm structures over `warmup` committed instructions, then measure
+    /// the next `measure` instructions and return the results
+    /// (Section VI-A methodology).
+    pub fn run(mut self, warmup: u64, measure: u64) -> SimResult {
+        // Warm-up phase.
+        while self.committed < warmup && !self.finished() {
+            self.tick();
+        }
+        self.begin_measurement();
+        let target = measure;
+        while self.committed - self.measure_start_committed < target && !self.finished() {
+            self.tick();
+        }
+        self.finish()
+    }
+
+    fn finished(&self) -> bool {
+        self.trace_done && self.ftq.is_empty() && self.rob.is_empty()
+    }
+
+    fn begin_measurement(&mut self) {
+        self.measuring = true;
+        self.measure_start_cycle = self.cycle;
+        self.measure_start_committed = self.committed;
+        self.bubble_cycles = 0;
+        self.fetch_starved_cycles = 0;
+        self.rob_full_cycles = 0;
+        self.bpu.reset_stats();
+        self.hierarchy.reset_stats();
+        if let Some(f) = &mut self.fdip {
+            f.reset_stats();
+        }
+    }
+
+    fn finish(mut self) -> SimResult {
+        let (l1i, l1d, l2, llc) = self.hierarchy.stats();
+        let bubble = self.bubble_cycles;
+        let stats = SimStats {
+            instructions: self.committed - self.measure_start_committed,
+            cycles: self.cycle - self.measure_start_cycle,
+            bpu: self.bpu.stats(),
+            l1i,
+            l1d,
+            l2,
+            llc,
+            fdip: self.fdip.as_ref().map(|f| f.stats()).unwrap_or_default(),
+            btb_counts: self.bpu.btb().counts(),
+            bubble_cycles: bubble,
+            fetch_starved_cycles: self.fetch_starved_cycles,
+            rob_full_cycles: self.rob_full_cycles,
+            wrong_path_btb_reads: bubble * (self.config.fetch_width as u64 / 2),
+        };
+        SimResult {
+            workload: self.trace.source_name().to_string(),
+            org: std::mem::take(&mut self.org_id),
+            fdip_enabled: self.config.fdip,
+            btb_budget_bits: self.budget_bits,
+            stats,
+        }
+    }
+
+    /// Advance one cycle.
+    fn tick(&mut self) {
+        self.commit_stage();
+        self.fetch_stage();
+        if self.fdip.is_some() {
+            let mut fdip = self.fdip.take().unwrap();
+            fdip.tick(&self.ftq, &mut self.hierarchy, self.cycle);
+            self.fdip = Some(fdip);
+        }
+        self.predict_stage();
+        if self.bpu_state != BpuState::Running {
+            self.bubble_cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    fn commit_stage(&mut self) {
+        for _ in 0..self.config.commit_width {
+            match self.rob.front() {
+                Some(e) if e.complete_at <= self.cycle => {
+                    let e = self.rob.pop_front().unwrap();
+                    if let Some(ev) = e.branch {
+                        self.bpu.commit(&ev);
+                    }
+                    self.committed += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Issue L1-I accesses for the next few FTQ entries (the ifetch
+    /// buffer): misses overlap in the MSHRs instead of serializing, as in
+    /// ChampSim's `FETCH_WIDTH × 2`-entry IFETCH_BUFFER.
+    fn issue_ifetch_window(&mut self) {
+        let window = self.config.fetch_width as usize * 2;
+        let cycle = self.cycle;
+        for idx in 0..window.min(self.ftq.len()) {
+            // Safe: idx < len.
+            let (pc, pending) = {
+                let e = self.ftq.get(idx).unwrap();
+                (e.instr.pc, e.block_ready.is_none())
+            };
+            if pending {
+                let r = self.hierarchy.access(Port::Instr, pc, cycle);
+                if let Some(e) = self.ftq.get_mut(idx) {
+                    e.block_ready = Some(r);
+                }
+            }
+        }
+    }
+
+    fn fetch_stage(&mut self) {
+        if self.ftq.is_empty() {
+            self.fetch_starved_cycles += 1;
+            return;
+        }
+        self.issue_ifetch_window();
+        let l1i_latency = self.config.l1i.latency as u64;
+        let mut fetched = 0usize;
+        while fetched < self.config.fetch_width as usize {
+            if self.rob.len() >= self.config.rob_entries {
+                self.rob_full_cycles += 1;
+                break;
+            }
+            let cycle = self.cycle;
+            let Some(head) = self.ftq.head_mut() else {
+                break;
+            };
+            let ready = match head.block_ready {
+                Some(r) => r,
+                None => {
+                    let pc = head.instr.pc;
+                    let r = self.hierarchy.access(Port::Instr, pc, cycle);
+                    head.block_ready = Some(r);
+                    r
+                }
+            };
+            // A hit's latency is pipeline depth, not a stall; only misses
+            // (ready beyond the hit horizon) block fetch.
+            if ready > cycle + l1i_latency {
+                break;
+            }
+            let entry = self.ftq.pop().unwrap();
+            if let Some(f) = &mut self.fdip {
+                f.on_fetch(1);
+            }
+            fetched += 1;
+
+            // Backend completion time.
+            let base = cycle + self.config.execute_depth as u64;
+            let complete = match entry.instr.op {
+                Op::Mem(MemAccess::Load(addr)) => {
+                    let issue = cycle + self.config.issue_depth as u64;
+                    let dready = self.hierarchy.access(Port::Data, addr, issue);
+                    base.max(dready)
+                }
+                Op::Mem(MemAccess::Store(addr)) => {
+                    // Stores retire without waiting for the fill; the
+                    // access still exercises the data hierarchy.
+                    let issue = cycle + self.config.issue_depth as u64;
+                    let _ = self.hierarchy.access(Port::Data, addr, issue);
+                    base
+                }
+                _ => base,
+            };
+            // In-order commit: completion is monotone.
+            let complete = complete.max(self.last_complete);
+            self.last_complete = complete;
+            self.rob.push_back(RobEntry {
+                complete_at: complete,
+                branch: entry.instr.branch_event().copied(),
+            });
+
+            // A mispredicted branch reaching fetch pins down its
+            // resolution time; the BPU resumes after the resteer.
+            match entry.verdict.resolution {
+                Resolution::Correct => {}
+                Resolution::DecodeResteer => {
+                    let resolve = cycle
+                        + self.config.decode_depth as u64
+                        + self.config.redirect_penalty as u64;
+                    self.bpu_state = BpuState::BlockedUntil(resolve);
+                    break; // nothing valid to fetch behind a resteer
+                }
+                Resolution::ExecuteResteer => {
+                    let resolve = cycle
+                        + self.config.execute_depth as u64
+                        + self.config.redirect_penalty as u64;
+                    self.bpu_state = BpuState::BlockedUntil(resolve);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn predict_stage(&mut self) {
+        match self.bpu_state {
+            BpuState::Running => {}
+            BpuState::BlockedUnknown => return,
+            BpuState::BlockedUntil(t) => {
+                if self.cycle >= t {
+                    self.bpu_state = BpuState::Running;
+                    if let Some(f) = &mut self.fdip {
+                        f.on_flush();
+                    }
+                } else {
+                    return;
+                }
+            }
+        }
+        if self.cycle < self.bpu_busy_until || self.trace_done {
+            return;
+        }
+        let mut predicted = 0;
+        let mut taken_budget = self.config.bpu_taken_per_cycle;
+        while predicted < self.config.bpu_width && taken_budget > 0 && self.ftq.has_room() {
+            let Some(instr) = self.trace.next_instr() else {
+                self.trace_done = true;
+                break;
+            };
+            let verdict = self
+                .bpu
+                .predict(instr.pc, instr.size, instr.branch_event());
+            if verdict.extra_bpu_cycles > 0 {
+                // PDede's second-cycle Page-/Region-BTB access occupies
+                // the predictor.
+                self.bpu_busy_until = self.cycle + 1 + verdict.extra_bpu_cycles as u64;
+            }
+            if verdict.predicted_taken {
+                taken_budget -= 1;
+            }
+            let mispredicted = verdict.resolution != Resolution::Correct;
+            self.ftq.push(instr, verdict);
+            predicted += 1;
+            if mispredicted {
+                // The BPU is now on the wrong path; stall until the
+                // branch is fetched and resolved.
+                self.bpu_state = BpuState::BlockedUnknown;
+                break;
+            }
+            if verdict.extra_bpu_cycles > 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl<S: TraceSource> std::fmt::Debug for Simulator<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("committed", &self.committed)
+            .field("org", &self.org_id)
+            .finish()
+    }
+}
+
+/// Convenience: build and run a simulation of `spec`-like synthetic
+/// workloads with an arbitrary trace source.
+pub fn simulate<S: TraceSource>(
+    config: SimConfig,
+    trace: S,
+    btb: Box<dyn btbx_core::Btb>,
+    org_id: &str,
+    warmup: u64,
+    measure: u64,
+) -> SimResult {
+    let budget = btb.storage().total_bits;
+    let bpu = Bpu::new(btb, config.ras_entries, config.decode_resteer);
+    Simulator::new(config, trace, bpu, org_id, budget).run(warmup, measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_core::storage::BudgetPoint;
+    use btbx_core::types::{Arch, BranchClass};
+    use btbx_core::{factory, OrgKind};
+    use btbx_trace::record::TraceInstr;
+    use btbx_trace::source::VecSource;
+    use btbx_trace::synth::{ProgramImage, SynthParams, SyntheticTrace};
+
+    fn btb(kind: OrgKind) -> Box<dyn btbx_core::Btb> {
+        factory::build(kind, BudgetPoint::Kb14_5.bits(Arch::Arm64), Arch::Arm64)
+    }
+
+    fn straight_line(n: u64) -> VecSource {
+        VecSource::new(
+            "line",
+            (0..n).map(|i| TraceInstr::other(0x1000 + i * 4, 4)).collect(),
+        )
+    }
+
+    /// 1024 sequential instructions (4 KB, fits L1-I) ending in a jump
+    /// back to the start, repeated.
+    fn resident_kernel(passes: u64) -> VecSource {
+        let mut v = Vec::new();
+        for _ in 0..passes {
+            for i in 0..1023u64 {
+                v.push(TraceInstr::other(0x1000 + i * 4, 4));
+            }
+            let pc = 0x1000 + 1023 * 4;
+            v.push(TraceInstr::branch(
+                pc,
+                4,
+                BranchEvent::taken(pc, 0x1000, BranchClass::UncondDirect),
+            ));
+        }
+        VecSource::new("kernel", v)
+    }
+
+    #[test]
+    fn resident_code_streams_at_near_fetch_width() {
+        let r = simulate(
+            SimConfig::without_fdip(),
+            resident_kernel(100),
+            btb(OrgKind::Conv),
+            "conv",
+            20_000,
+            60_000,
+        );
+        let ipc = r.stats.ipc();
+        assert!(
+            (4.0..=6.0).contains(&ipc),
+            "warm L1-I-resident code should stream near fetch width, got {ipc}"
+        );
+        assert_eq!(r.stats.btb_mpki(), 0.0);
+    }
+
+    #[test]
+    fn cold_streaming_code_is_miss_bandwidth_bound() {
+        // 60 K instructions of never-revisited code: every block is a
+        // cold L1-I miss; without a prefetcher IPC collapses — the
+        // front-end bottleneck the paper opens with.
+        let r = simulate(
+            SimConfig::without_fdip(),
+            straight_line(60_000),
+            btb(OrgKind::Conv),
+            "conv",
+            10_000,
+            40_000,
+        );
+        let ipc = r.stats.ipc();
+        assert!(ipc < 2.0, "cold streaming should be slow, got {ipc}");
+        assert!(r.stats.l1i_mpki() > 10.0);
+    }
+
+    #[test]
+    fn tight_loop_is_predictable_after_warmup() {
+        // A 16-instruction loop ending in a taken backward branch.
+        let mut instrs = Vec::new();
+        for _ in 0..4000u64 {
+            for i in 0..15u64 {
+                instrs.push(TraceInstr::other(0x2000 + i * 4, 4));
+            }
+            instrs.push(TraceInstr::branch(
+                0x203c,
+                4,
+                BranchEvent::taken(0x203c, 0x2000, BranchClass::UncondDirect),
+            ));
+        }
+        let r = simulate(
+            SimConfig::without_fdip(),
+            VecSource::new("loop", instrs),
+            btb(OrgKind::BtbX),
+            "btbx",
+            30_000,
+            30_000,
+        );
+        assert_eq!(r.stats.btb_mpki(), 0.0, "warm loop must not miss");
+        assert!(r.stats.ipc() > 3.0, "ipc {}", r.stats.ipc());
+    }
+
+    #[test]
+    fn synthetic_server_runs_end_to_end() {
+        let image = ProgramImage::generate(&SynthParams::server(200), 5);
+        let trace = SyntheticTrace::new(image, "server_mini", 5);
+        let r = simulate(
+            SimConfig::with_fdip(),
+            trace,
+            btb(OrgKind::BtbX),
+            "btbx",
+            50_000,
+            100_000,
+        );
+        // Commit is 6-wide, so the window may overshoot by < 6.
+        assert!((100_000..100_006).contains(&r.stats.instructions));
+        assert!(r.stats.ipc() > 0.2, "ipc {}", r.stats.ipc());
+        assert!(r.stats.bpu.lookups >= 100_000);
+    }
+
+    #[test]
+    fn fdip_improves_ipc_on_large_footprint() {
+        // A large-footprint server workload from the calibrated suite.
+        let spec = btbx_trace::suite::ipc1_server()
+            .into_iter()
+            .find(|s| s.name == "server_033")
+            .unwrap();
+        let base = simulate(
+            SimConfig::without_fdip(),
+            spec.build_trace(),
+            btb(OrgKind::BtbX),
+            "btbx",
+            200_000,
+            400_000,
+        );
+        let fdip = simulate(
+            SimConfig::with_fdip(),
+            spec.build_trace(),
+            btb(OrgKind::BtbX),
+            "btbx",
+            200_000,
+            400_000,
+        );
+        assert!(
+            fdip.stats.ipc() > base.stats.ipc() * 1.02,
+            "FDIP should help: {} vs {}",
+            fdip.stats.ipc(),
+            base.stats.ipc()
+        );
+        assert!(fdip.stats.fdip.issued > 0);
+        assert!(fdip.stats.l1i.prefetch_hits > 0);
+    }
+
+    #[test]
+    fn btbx_beats_conv_on_server_mpki() {
+        // Long enough to cycle through the branch working set so capacity
+        // misses (not compulsory misses) dominate.
+        let spec = btbx_trace::suite::ipc1_server()
+            .into_iter()
+            .find(|s| s.name == "server_030")
+            .unwrap();
+        let conv = simulate(
+            SimConfig::with_fdip(),
+            spec.build_trace(),
+            btb(OrgKind::Conv),
+            "conv",
+            400_000,
+            400_000,
+        );
+        let bx = simulate(
+            SimConfig::with_fdip(),
+            spec.build_trace(),
+            btb(OrgKind::BtbX),
+            "btbx",
+            400_000,
+            400_000,
+        );
+        assert!(
+            bx.stats.btb_mpki() < conv.stats.btb_mpki() * 0.9,
+            "BTB-X {} vs Conv {}",
+            bx.stats.btb_mpki(),
+            conv.stats.btb_mpki()
+        );
+        assert!(bx.stats.ipc() >= conv.stats.ipc());
+    }
+
+    #[test]
+    fn decode_resteer_outperforms_execute_only() {
+        let image = ProgramImage::generate(&SynthParams::server(900), 13);
+        let mut no_dr = SimConfig::without_fdip();
+        no_dr.decode_resteer = false;
+        let slow = simulate(
+            no_dr,
+            SyntheticTrace::new(image.clone(), "srv", 13),
+            btb(OrgKind::Conv),
+            "conv",
+            80_000,
+            150_000,
+        );
+        let fast = simulate(
+            SimConfig::without_fdip(),
+            SyntheticTrace::new(image, "srv", 13),
+            btb(OrgKind::Conv),
+            "conv",
+            80_000,
+            150_000,
+        );
+        assert!(
+            fast.stats.ipc() > slow.stats.ipc(),
+            "decode resteer must reduce the miss penalty: {} vs {}",
+            fast.stats.ipc(),
+            slow.stats.ipc()
+        );
+    }
+
+    #[test]
+    fn finite_trace_terminates_cleanly() {
+        let r = simulate(
+            SimConfig::without_fdip(),
+            straight_line(5_000),
+            btb(OrgKind::Conv),
+            "conv",
+            1_000,
+            100_000, // more than available: must stop at trace end
+        );
+        assert!(r.stats.instructions <= 4_000);
+    }
+}

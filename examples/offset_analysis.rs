@@ -1,0 +1,55 @@
+//! Offset analysis — the paper's Section III methodology applied to a
+//! synthetic server workload, ending with a data-driven way sizing like
+//! the one that produced BTB-X's 0/4/5/7/9/11/19/25 configuration.
+//!
+//! ```text
+//! cargo run --release --example offset_analysis
+//! ```
+
+use btbx::core::Arch;
+use btbx::trace::stats::TraceStats;
+use btbx::trace::suite;
+
+fn main() {
+    let spec = &suite::ipc1_server()[20]; // a large server workload
+    println!("workload: {} ({} functions)", spec.name, spec.params.num_funcs);
+
+    let mut trace = spec.build_trace();
+    let stats = TraceStats::collect(&mut trace, 2_000_000, Arch::Arm64);
+
+    println!(
+        "\n{} instructions, {} dynamic branches ({:.1} per 1000 instructions)",
+        stats.instructions,
+        stats.branches,
+        stats.branch_density() * 1000.0
+    );
+    println!(
+        "taken-branch working set: {} distinct branches",
+        stats.taken_branch_working_set
+    );
+
+    // The Figure 4 view: cumulative coverage per offset length.
+    println!("\nstored offset bits -> dynamic branch coverage:");
+    for bits in [0u32, 2, 4, 6, 8, 10, 12, 16, 20, 25, 30, 46] {
+        let cdf = stats.offset_cdf(bits);
+        let bar = "#".repeat((cdf * 40.0) as usize);
+        println!("  {bits:>2} bits  {:>5.1}%  {bar}", cdf * 100.0);
+    }
+
+    // Section V-A: size 8 ways so each covers ~12.5 % of dynamic branches.
+    println!("\nway sizing for ~12.5% coverage per way (paper: 0/4/5/7/9/11/19/25):");
+    let mut widths = Vec::new();
+    for k in 1..=8 {
+        let target = k as f64 * 0.125;
+        let bits = (0..=46).find(|&b| stats.offset_cdf(b) >= target).unwrap_or(46);
+        widths.push(bits);
+    }
+    // Way 0 exists for returns (0 bits) regardless of quantiles.
+    widths[0] = 0;
+    println!("  suggested ways: {widths:?}");
+    println!(
+        "  set cost: {} offset bits + {} metadata bits",
+        widths.iter().sum::<u32>(),
+        8 * 18
+    );
+}

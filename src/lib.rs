@@ -1,0 +1,37 @@
+//! # btbx — reproduction of “A Storage-Effective BTB Organization for Servers”
+//!
+//! This facade crate re-exports the workspace crates that together
+//! reproduce Asheim, Grot and Kumar's HPCA 2023 paper:
+//!
+//! * [`core`] (`btbx-core`) — the BTB organizations: conventional,
+//!   Seznec R-BTB, PDede, and the paper's BTB-X (+BTB-XC), together with
+//!   the storage models behind Tables III/IV;
+//! * [`trace`] (`btbx-trace`) — trace records, a ChampSim-compatible
+//!   parser, and the synthetic IPC-1/CVP-1/x86 workload generators;
+//! * [`uarch`] (`btbx-uarch`) — the front-end simulator: hashed-perceptron
+//!   direction prediction, RAS, FTQ, FDIP instruction prefetching, the
+//!   L1I/L1D/L2/LLC hierarchy, and the cycle-level pipeline model;
+//! * [`energy`] (`btbx-energy`) — the calibrated SRAM energy/latency model
+//!   standing in for Cacti 7.0 (Table V);
+//! * [`analysis`] (`btbx-analysis`) — offset-distribution statistics,
+//!   metric aggregation and table/CSV rendering.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use btbx::core::{factory, Arch, OrgKind};
+//! use btbx::core::storage::BudgetPoint;
+//!
+//! let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
+//! let btb = factory::build(OrgKind::BtbX, budget, Arch::Arm64);
+//! assert!(btb.branch_capacity() > 4000);
+//! ```
+//!
+//! See `examples/` for end-to-end simulations and `crates/bench` for the
+//! harnesses that regenerate every table and figure in the paper.
+
+pub use btbx_analysis as analysis;
+pub use btbx_core as core;
+pub use btbx_energy as energy;
+pub use btbx_trace as trace;
+pub use btbx_uarch as uarch;
