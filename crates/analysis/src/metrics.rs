@@ -47,7 +47,11 @@ impl Speedup {
     pub fn from_ipc(label: impl Into<String>, ipc: f64, baseline_ipc: f64) -> Self {
         Speedup {
             label: label.into(),
-            value: if baseline_ipc > 0.0 { ipc / baseline_ipc } else { 0.0 },
+            value: if baseline_ipc > 0.0 {
+                ipc / baseline_ipc
+            } else {
+                0.0
+            },
         }
     }
 

@@ -1,0 +1,327 @@
+//! `btbx` — the one experiment CLI for the BTB-X reproduction.
+//!
+//! ```text
+//! btbx fig 9                  # one figure
+//! btbx table 3                # one table
+//! btbx ablation               # a beyond-the-paper study
+//! btbx all --quick            # the full reproduction + RESULTS.md
+//! btbx sweep --orgs conv,btbx --budgets all --fdip both
+//! btbx list                   # everything runnable
+//! ```
+//!
+//! Every subcommand accepts the shared harness options (`--warmup`,
+//! `--measure`, `--quick`, `--fresh`, `--threads`, `--out`); simulation
+//! results are cached per-parameter-set under `<out>/cache`, so repeated
+//! and overlapping invocations share runs.
+
+use btbx_bench::opts::{OptError, OPTIONS_USAGE};
+use btbx_bench::registry::{self, ExperimentKind};
+use btbx_bench::report::write_artifact;
+use btbx_bench::sweep::Sweep;
+use btbx_bench::HarnessOpts;
+use btbx_core::spec::Budget;
+use btbx_core::storage::BudgetPoint;
+use btbx_core::OrgKind;
+use btbx_trace::suite;
+
+const USAGE: &str = "\
+btbx — reproduce 'A Storage-Effective BTB Organization for Servers'
+
+usage: btbx <command> [options]
+
+commands:
+  fig N           reproduce paper figure N (1, 3, 4, 9, 10, 11, 12, 13)
+  table N         reproduce paper table N (1-5)
+  ablation        knock out each BTB-X design choice
+  headroom        realistic BTBs vs an infinite BTB
+  probe speed|ws  diagnostics (predictor rates / way pressure)
+  all             run the full reproduction and write RESULTS.md
+  sweep           run a custom workload x org x budget x FDIP matrix
+  list            list every runnable experiment
+  help            show this help
+
+run `btbx <command> --help` for the command's options.";
+
+const SWEEP_USAGE: &str = "\
+usage: btbx sweep [selection] [options]
+
+selection:
+  --orgs LIST      comma-separated org ids (conv,pdede,btbx,rbtb,
+                   hoogerbrugge,infinite,btbx-uniform,btbx-noxc),
+                   or `paper` (conv,pdede,btbx), or `all`   [paper]
+  --budgets LIST   tier labels (0.9KB,...,58KB), raw bits (e.g. 65536b),
+                   or `all` for every tier                  [14.5KB]
+  --suite NAME     ipc1 | client | server | cvp1 | x86      [ipc1]
+  --workloads L    comma-separated workload names (filters the suite)
+  --fdip MODE      on | off | both                          [on]
+
+spec files:
+  --save FILE      write the sweep as JSON and exit (no simulation)
+  --spec FILE      load a sweep from JSON (selection flags ignored)";
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        println!("{USAGE}");
+        return;
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        "list" => list(),
+        "fig" | "figure" => run_numbered(&cmd, args, registry::figure),
+        "table" => run_numbered(&cmd, args, registry::table),
+        "all" => {
+            let opts = parse_opts(args, "all", None);
+            for e in registry::REGISTRY.iter().filter(|e| e.in_all) {
+                eprintln!("[btbx all] {}…", e.name);
+                (e.run)(&opts);
+            }
+            registry::results_document()(&opts);
+        }
+        "probe" => {
+            let name = match args.first().map(String::as_str) {
+                Some("speed") => "speed-probe",
+                Some("ws") => "ws-probe",
+                _ => fail("probe expects `speed` or `ws`"),
+            };
+            args.remove(0);
+            let opts = parse_opts(args, name, None);
+            (registry::find(name).expect("registered").run)(&opts);
+        }
+        "sweep" => sweep_cmd(args),
+        name => match registry::find(name) {
+            Some(e) => {
+                let opts = parse_opts(args, name, None);
+                (e.run)(&opts);
+            }
+            None => fail(&format!("unknown command `{name}`")),
+        },
+    }
+}
+
+/// `btbx fig 9` / `btbx table 3`: number then shared options.
+fn run_numbered(
+    cmd: &str,
+    mut args: Vec<String>,
+    lookup: fn(u32) -> Option<&'static registry::Experiment>,
+) {
+    let Some(n) = args.first().and_then(|a| a.parse::<u32>().ok()) else {
+        fail(&format!("`btbx {cmd}` expects a number (try `btbx list`)"));
+    };
+    args.remove(0);
+    let Some(experiment) = lookup(n) else {
+        fail(&format!("no {cmd} {n} in the paper (try `btbx list`)"));
+    };
+    let opts = parse_opts(args, experiment.name, None);
+    (experiment.run)(&opts);
+}
+
+/// Parse shared options, printing command-tagged usage on errors.
+fn parse_opts(args: Vec<String>, command: &str, extra_usage: Option<&str>) -> HarnessOpts {
+    match HarnessOpts::try_parse(args) {
+        Ok(opts) => opts,
+        Err(OptError::HelpRequested) => {
+            if let Some(extra) = extra_usage {
+                println!("{extra}\n");
+            } else {
+                println!("usage: btbx {command} [options]\n");
+            }
+            println!("{OPTIONS_USAGE}");
+            std::process::exit(0);
+        }
+        Err(e) => fail(&format!("btbx {command}: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn list() {
+    println!("experiments (btbx <name>, btbx fig N, btbx table N):\n");
+    for e in registry::REGISTRY {
+        let tag = match e.kind {
+            ExperimentKind::Figure(n) => format!("fig {n}"),
+            ExperimentKind::Table(n) => format!("table {n}"),
+            ExperimentKind::Study => "study".to_string(),
+        };
+        println!("  {:<12} {:<8} {}", e.name, tag, e.description);
+    }
+    println!(
+        "\n  {:<12} {:<8} full reproduction, writes RESULTS.md",
+        "all", ""
+    );
+    println!(
+        "  {:<12} {:<8} custom matrix (see btbx sweep --help)",
+        "sweep", ""
+    );
+}
+
+fn sweep_cmd(args: Vec<String>) {
+    // Split sweep-selection flags from the shared harness options.
+    let mut orgs: Vec<OrgKind> = OrgKind::PAPER_EVAL.to_vec();
+    let mut budgets: Vec<Budget> = vec![Budget::Point(BudgetPoint::Kb14_5)];
+    let mut suite_name = "ipc1".to_string();
+    let mut workload_filter: Option<Vec<String>> = None;
+    let mut fdip = vec![true];
+    let mut save: Option<String> = None;
+    let mut spec_file: Option<String> = None;
+    let mut rest = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} expects a value")))
+        };
+        match arg.as_str() {
+            "--orgs" => orgs = parse_orgs(&value("--orgs")),
+            "--budgets" => budgets = parse_budgets(&value("--budgets")),
+            "--suite" => suite_name = value("--suite"),
+            "--workloads" => {
+                workload_filter = Some(
+                    value("--workloads")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--fdip" => {
+                fdip = match value("--fdip").as_str() {
+                    "on" | "true" => vec![true],
+                    "off" | "false" => vec![false],
+                    "both" => vec![false, true],
+                    other => fail(&format!("--fdip expects on|off|both, got `{other}`")),
+                }
+            }
+            "--save" => save = Some(value("--save")),
+            "--spec" => spec_file = Some(value("--spec")),
+            "--help" | "-h" => {
+                println!("{SWEEP_USAGE}\n\n{OPTIONS_USAGE}");
+                return;
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = parse_opts(rest, "sweep", Some(SWEEP_USAGE));
+
+    let sweep = if let Some(path) = spec_file {
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+        Sweep::from_json(&json).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")))
+    } else {
+        let mut workloads = match suite_name.as_str() {
+            "ipc1" => suite::ipc1_all(),
+            "client" => suite::ipc1_client(),
+            "server" => suite::ipc1_server(),
+            "cvp1" => suite::cvp1(48),
+            "x86" => suite::x86_apps(),
+            other => fail(&format!("unknown suite `{other}`")),
+        };
+        if let Some(filter) = workload_filter {
+            workloads.retain(|w| filter.iter().any(|f| f == &w.name));
+            if workloads.is_empty() {
+                fail("--workloads matched nothing in the suite");
+            }
+        }
+        Sweep::named("sweep")
+            .workloads(workloads)
+            .orgs(orgs)
+            .budgets(budgets)
+            .fdip_options(fdip)
+            .windows(opts.warmup, opts.measure)
+    };
+
+    if let Some(path) = save {
+        let json = sweep.to_json().expect("sweeps serialize");
+        std::fs::write(&path, &json).unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        println!(
+            "wrote {path}: {} points ({} workloads x {} orgs x {} budgets x {} fdip)",
+            sweep.points().len(),
+            sweep.workloads.len(),
+            sweep.orgs.len(),
+            sweep.budgets.len(),
+            sweep.fdip.len(),
+        );
+        return;
+    }
+
+    let results = sweep.run(&opts);
+    let mut csv = String::from("workload,org,budget_bits,fdip,ipc,btb_mpki,l1i_mpki,flush_pki\n");
+    println!(
+        "{:<14} {:<14} {:>12} {:>6} {:>8} {:>9} {:>9}",
+        "workload", "org", "budget_bits", "fdip", "IPC", "BTB MPKI", "L1I MPKI"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:<14} {:>12} {:>6} {:>8.3} {:>9.2} {:>9.2}",
+            r.workload,
+            r.org,
+            r.btb_budget_bits,
+            r.fdip_enabled,
+            r.stats.ipc(),
+            r.stats.btb_mpki(),
+            r.stats.l1i_mpki()
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{:.4},{:.4},{:.4},{:.4}\n",
+            r.workload,
+            r.org,
+            r.btb_budget_bits,
+            r.fdip_enabled,
+            r.stats.ipc(),
+            r.stats.btb_mpki(),
+            r.stats.l1i_mpki(),
+            r.stats.flush_pki()
+        ));
+    }
+    let path = write_artifact(&opts.out_dir, "sweep.csv", &csv);
+    println!("\n{} results -> {}", results.len(), path.display());
+}
+
+fn parse_orgs(list: &str) -> Vec<OrgKind> {
+    match list {
+        "paper" => OrgKind::PAPER_EVAL.to_vec(),
+        "all" => OrgKind::ALL.to_vec(),
+        _ => list
+            .split(',')
+            .map(|id| {
+                OrgKind::ALL
+                    .iter()
+                    .copied()
+                    .find(|o| o.id() == id)
+                    .unwrap_or_else(|| {
+                        fail(&format!(
+                            "unknown org `{id}` (ids: {})",
+                            OrgKind::ALL.map(|o| o.id()).join(", ")
+                        ))
+                    })
+            })
+            .collect(),
+    }
+}
+
+fn parse_budgets(list: &str) -> Vec<Budget> {
+    if list == "all" {
+        return BudgetPoint::ALL.map(Budget::Point).to_vec();
+    }
+    list.split(',')
+        .map(|item| {
+            if let Some(point) = BudgetPoint::ALL
+                .iter()
+                .find(|bp| bp.label().eq_ignore_ascii_case(item))
+            {
+                return Budget::Point(*point);
+            }
+            if let Some(bits) = item.strip_suffix('b').and_then(|v| v.parse().ok()) {
+                return Budget::Bits(bits);
+            }
+            fail(&format!(
+                "unknown budget `{item}` (tiers: {}; or raw bits like 65536b)",
+                BudgetPoint::ALL.map(|bp| bp.label()).join(", ")
+            ))
+        })
+        .collect()
+}

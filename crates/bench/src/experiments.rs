@@ -1,19 +1,21 @@
 //! Experiment drivers: the simulation matrices and offset studies behind
-//! every figure/table, with JSON caching so related harnesses share runs.
+//! every figure/table, defined as declarative [`crate::sweep::Sweep`]s so
+//! related harnesses share one content-addressed cache of runs (see
+//! EXPERIMENTS.md for the cache layout and window-size guidance).
 
 use crate::opts::HarnessOpts;
 use crate::runner::run_jobs;
+use crate::sweep::{SimPoint, Sweep};
 use btbx_analysis::hist::OffsetAggregate;
+use btbx_core::spec::Budget;
 use btbx_core::storage::BudgetPoint;
-use btbx_core::types::Arch;
-use btbx_core::{factory, OrgKind};
+use btbx_core::OrgKind;
 use btbx_trace::stats::TraceStats;
 use btbx_trace::suite::{self, WorkloadSpec};
-use btbx_uarch::{simulate, SimConfig, SimResult};
-use std::fs;
-use std::path::Path;
+use btbx_uarch::{SimConfig, SimResult};
 
-/// Run one simulation: `spec` on `org` at `budget_bits`, FDIP on/off.
+/// Run one simulation: `spec` on `org` at `budget_bits`, FDIP on/off
+/// (uncached; sweeps cache through [`Sweep::run`]).
 pub fn sim_one(
     spec: &WorkloadSpec,
     org: OrgKind,
@@ -22,93 +24,55 @@ pub fn sim_one(
     warmup: u64,
     measure: u64,
 ) -> SimResult {
-    let config = if fdip {
-        SimConfig::with_fdip()
-    } else {
-        SimConfig::without_fdip()
+    let config = SimConfig {
+        fdip,
+        ..SimConfig::default()
     };
-    let btb = factory::build(org, budget_bits, spec.params.arch);
-    let trace = spec.build_trace();
-    let mut r = simulate(config, trace, btb, org.id(), warmup, measure);
-    r.btb_budget_bits = budget_bits;
-    r
-}
-
-fn cache_path(opts: &HarnessOpts, name: &str) -> std::path::PathBuf {
-    opts.out_dir.join(format!("{name}.json"))
-}
-
-fn load_cache(path: &Path) -> Option<Vec<SimResult>> {
-    let text = fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
-}
-
-fn store_cache(path: &Path, results: &[SimResult]) {
-    if let Some(dir) = path.parent() {
-        let _ = fs::create_dir_all(dir);
+    SimPoint {
+        workload: spec.clone(),
+        org,
+        budget: Budget::Bits(budget_bits),
+        warmup,
+        measure,
+        config,
     }
-    if let Ok(json) = serde_json::to_string(results) {
-        let _ = fs::write(path, json);
-    }
+    .run()
 }
 
 /// The Figure 9/10/Table V matrix: every IPC-1 workload × {Conv, PDede,
-/// BTB-X} × {FDIP, no FDIP} at the 14.5 KB budget. Cached as
-/// `eval_matrix.json`.
+/// BTB-X} × {FDIP, no FDIP} at the 14.5 KB budget.
+pub fn eval_matrix_sweep(opts: &HarnessOpts) -> Sweep {
+    Sweep::named("eval_matrix")
+        .workloads(suite::ipc1_all())
+        .orgs(OrgKind::PAPER_EVAL)
+        .budgets([BudgetPoint::Kb14_5])
+        .fdip_both()
+        .windows(opts.warmup, opts.measure)
+}
+
+/// Run (or load from cache) the [`eval_matrix_sweep`].
 pub fn eval_matrix(opts: &HarnessOpts) -> Vec<SimResult> {
-    let path = cache_path(opts, "eval_matrix");
-    if !opts.fresh {
-        if let Some(cached) = load_cache(&path) {
-            eprintln!("[eval_matrix] using cached {} results", cached.len());
-            return cached;
-        }
-    }
-    let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
-    let specs = suite::ipc1_all();
-    let mut jobs = Vec::new();
-    for spec in &specs {
-        for org in OrgKind::PAPER_EVAL {
-            for fdip in [false, true] {
-                let spec = spec.clone();
-                let (w, m) = (opts.warmup, opts.measure);
-                jobs.push(move || sim_one(&spec, org, budget, fdip, w, m));
-            }
-        }
-    }
-    let results = run_jobs("eval_matrix", opts.threads, jobs);
-    store_cache(&path, &results);
-    results
+    eval_matrix_sweep(opts).run(opts)
 }
 
 /// The Figure 11 matrix: all seven budgets × three organizations × all
-/// IPC-1 workloads, FDIP enabled everywhere (Section VI-F). Cached as
-/// `budget_sweep.json`.
-pub fn budget_sweep(opts: &HarnessOpts) -> Vec<SimResult> {
-    let path = cache_path(opts, "budget_sweep");
-    if !opts.fresh {
-        if let Some(cached) = load_cache(&path) {
-            eprintln!("[budget_sweep] using cached {} results", cached.len());
-            return cached;
-        }
-    }
-    let specs = suite::ipc1_all();
+/// IPC-1 workloads, FDIP enabled everywhere (Section VI-F).
+pub fn budget_sweep_sweep(opts: &HarnessOpts) -> Sweep {
     // The sweep is 7× the size of the eval matrix; halve the window to
     // keep wall-clock in check (shapes are stable; see EXPERIMENTS.md).
     let warmup = (opts.warmup / 2).max(100_000);
     let measure = (opts.measure / 2).max(200_000);
-    let mut jobs = Vec::new();
-    for bp in BudgetPoint::ALL {
-        let budget = bp.bits(Arch::Arm64);
-        for spec in &specs {
-            for org in OrgKind::PAPER_EVAL {
-                let spec = spec.clone();
-                jobs.push(move || sim_one(&spec, org, budget, true, warmup, measure));
-            }
-        }
-    }
-    let results = run_jobs("budget_sweep", opts.threads, jobs);
-    store_cache(&path, &results);
-    results
+    Sweep::named("budget_sweep")
+        .workloads(suite::ipc1_all())
+        .orgs(OrgKind::PAPER_EVAL)
+        .budgets(BudgetPoint::ALL)
+        .fdip_options([true])
+        .windows(warmup, measure)
+}
+
+/// Run (or load from cache) the [`budget_sweep_sweep`].
+pub fn budget_sweep(opts: &HarnessOpts) -> Vec<SimResult> {
+    budget_sweep_sweep(opts).run(opts)
 }
 
 /// Locate a result in a matrix.
@@ -176,17 +140,7 @@ pub fn is_server_workload(name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn tiny_opts(dir: &str) -> HarnessOpts {
-        HarnessOpts {
-            warmup: 20_000,
-            measure: 40_000,
-            offset_instrs: 50_000,
-            fresh: true,
-            out_dir: std::env::temp_dir().join(dir),
-            threads: 2,
-        }
-    }
+    use btbx_core::types::Arch;
 
     #[test]
     fn sim_one_produces_complete_result() {
@@ -202,18 +156,14 @@ mod tests {
     }
 
     #[test]
-    fn cache_round_trip() {
-        let opts = tiny_opts("btbx-cache-test");
-        let spec = &suite::ipc1_client()[0];
-        let budget = BudgetPoint::Kb0_9.bits(Arch::Arm64);
-        let results = vec![sim_one(spec, OrgKind::Conv, budget, false, 5_000, 10_000)];
-        let path = cache_path(&opts, "unit_test_matrix");
-        store_cache(&path, &results);
-        let loaded = load_cache(&path).expect("cache readable");
-        assert_eq!(loaded.len(), 1);
-        assert_eq!(loaded[0].workload, results[0].workload);
-        assert_eq!(loaded[0].stats.instructions, results[0].stats.instructions);
-        let _ = std::fs::remove_file(&path);
+    fn matrices_have_the_figure_shapes() {
+        let opts = HarnessOpts::default();
+        let eval = eval_matrix_sweep(&opts);
+        assert_eq!(eval.points().len(), 43 * 3 * 2);
+        assert_eq!(eval.warmup, opts.warmup);
+        let sweep = budget_sweep_sweep(&opts);
+        assert_eq!(sweep.points().len(), 7 * 43 * 3);
+        assert!(sweep.measure >= 200_000);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Figure 1: composition of a conventional BTB entry, plus the storage
+//! share of the target field that motivates the paper (72 % of entry
+//! bits).
+
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::table::TextTable;
+use btbx_core::conv::CONV_ENTRY_BITS;
+
+pub fn run(opts: &HarnessOpts) {
+    let fields = [
+        ("Valid", 1u64),
+        ("Tag (hashed partial)", 12),
+        ("Type", 2),
+        ("Target", 46),
+        ("Rep_policy", 3),
+    ];
+    let mut t = TextTable::new(["Field", "Bits", "Share"]);
+    for (name, bits) in fields {
+        t.row([
+            name.to_string(),
+            bits.to_string(),
+            format!("{:.1}%", bits as f64 * 100.0 / CONV_ENTRY_BITS as f64),
+        ]);
+    }
+    emit_table(
+        &opts.out_dir,
+        "fig01",
+        "Figure 1: conventional BTB entry composition",
+        &t,
+    );
+    let target_share = 46.0 / CONV_ENTRY_BITS as f64;
+    println!(
+        "target field share: {:.1}% of {} bits (paper: \"about 72% (46 of 64 bits)\")",
+        target_share * 100.0,
+        CONV_ENTRY_BITS
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 3: the branch target offset worked example, regenerated from
+//! the offset arithmetic in `btbx-core`.
+
+use btbx_core::offset::{extract_offset, msb_diff_pos, reconstruct_target, stored_offset_len};
+use btbx_core::types::Arch;
+
+pub fn run(_opts: &crate::HarnessOpts) {
+    // The paper's example: PC = ...1 0 1 1 0 1 0 0 0 and
+    // target = ...1 0 1 1 1 1 0 0 0 (bit positions 9..1).
+    let pc = 0b1_0110_1000u64;
+    let target = 0b1_0111_1000u64;
+    println!("Figure 3: branch target offset example\n");
+    println!("  bit position   9 8 7 6 5 4 3 2 1");
+    let bits = |v: u64| {
+        (1..=9)
+            .rev()
+            .map(|b| if v >> (b - 1) & 1 == 1 { "1 " } else { "0 " })
+            .collect::<String>()
+    };
+    println!("  branch PC      {}", bits(pc));
+    println!("  branch target  {}", bits(target));
+    let n = msb_diff_pos(pc, target);
+    println!("\n  most significant differing bit position: {n}");
+    let raw = target & ((1 << n) - 1);
+    println!(
+        "  target offset (positions {n}..1): {raw:0width$b}",
+        width = n as usize
+    );
+    let stored = stored_offset_len(pc, target, Arch::Arm64);
+    let value = extract_offset(target, stored, Arch::Arm64);
+    println!(
+        "  stored on Arm64 (2 alignment bits dropped): {value:0width$b} ({stored} bits)",
+        width = stored as usize
+    );
+    let rebuilt = reconstruct_target(pc, value, stored, Arch::Arm64);
+    println!("\n  reconstruction by concatenation: {rebuilt:#011b}");
+    assert_eq!(rebuilt, target, "reconstruction must be exact");
+    println!("  == target ✓ (no 48-bit adder needed)");
+}

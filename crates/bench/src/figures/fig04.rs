@@ -1,0 +1,56 @@
+//! Figure 4: distribution of branch target offsets across the IPC-1-like
+//! workloads — the analysis that motivates BTB-X's way sizing.
+
+use crate::experiments::offsets_for;
+use crate::report::{emit_table, write_artifact};
+use crate::HarnessOpts;
+use btbx_analysis::reference::FIG4_ARM64_CDF_ANCHORS;
+use btbx_analysis::table::TextTable;
+use btbx_trace::suite;
+
+pub fn run(opts: &HarnessOpts) {
+    let specs = suite::ipc1_all();
+    let agg = offsets_for(&specs, opts.offset_instrs, opts.threads);
+    let avg = agg.average("ipc1-avg");
+
+    // Per-workload CSV (one column per workload, rows = offset bits).
+    let per = agg.per_workload();
+    let mut csv = String::from("bits");
+    for s in &per {
+        csv.push(',');
+        csv.push_str(&s.label);
+    }
+    csv.push_str(",average\n");
+    for bits in 0..=46usize {
+        csv.push_str(&bits.to_string());
+        for s in &per {
+            csv.push_str(&format!(",{:.4}", s.at(bits)));
+        }
+        csv.push_str(&format!(",{:.4}\n", avg.at(bits)));
+    }
+    write_artifact(&opts.out_dir, "fig04.csv", &csv);
+
+    // Anchor comparison against the paper.
+    let mut t = TextTable::new(["Offset bits", "Measured CDF", "Paper CDF", "Δ"]);
+    for (bits, paper) in FIG4_ARM64_CDF_ANCHORS {
+        let m = avg.at(bits as usize);
+        t.row([
+            bits.to_string(),
+            format!("{m:.3}"),
+            format!("{paper:.2}"),
+            format!("{:+.3}", m - paper),
+        ]);
+    }
+    emit_table(
+        &opts.out_dir,
+        "fig04_anchors",
+        "Figure 4: offset CDF vs paper anchors (IPC-1 average)",
+        &t,
+    );
+    println!(
+        "≤6 bits: {:.1}% (paper 54%);  >25 bits: {:.1}% (paper ~1%)",
+        avg.at(6) * 100.0,
+        (1.0 - avg.at(25)) * 100.0
+    );
+    println!("full per-workload series: results/fig04.csv");
+}

@@ -1,0 +1,59 @@
+//! Figure 9: taken-branch BTB MPKI per workload for Conv-BTB, PDede and
+//! BTB-X at the 14.5 KB storage budget.
+
+use crate::experiments::{eval_matrix, find, is_server_workload};
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::metrics::mean;
+use btbx_analysis::reference::FIG9_SERVER_MPKI;
+use btbx_analysis::table::TextTable;
+use btbx_core::OrgKind;
+use btbx_trace::suite;
+
+pub fn run(opts: &HarnessOpts) {
+    let results = eval_matrix(opts);
+
+    let mut t = TextTable::new(["Workload", "Conv-BTB", "PDede", "BTB-X"]);
+    let mut per_org: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut client: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for spec in suite::ipc1_all() {
+        let mut cells = vec![spec.name.clone()];
+        for (i, org) in OrgKind::PAPER_EVAL.iter().enumerate() {
+            let r = find(&results, &spec.name, *org, true, None)
+                .unwrap_or_else(|| panic!("missing {} {}", spec.name, org.id()));
+            let mpki = r.stats.btb_mpki();
+            cells.push(format!("{mpki:.2}"));
+            if is_server_workload(&spec.name) {
+                per_org[i].push(mpki);
+            } else {
+                client[i].push(mpki);
+            }
+        }
+        t.row(cells);
+    }
+    t.row([
+        "client avg".to_string(),
+        format!("{:.2}", mean(&client[0])),
+        format!("{:.2}", mean(&client[1])),
+        format!("{:.2}", mean(&client[2])),
+    ]);
+    t.row([
+        "server avg".to_string(),
+        format!("{:.2}", mean(&per_org[0])),
+        format!("{:.2}", mean(&per_org[1])),
+        format!("{:.2}", mean(&per_org[2])),
+    ]);
+    emit_table(
+        &opts.out_dir,
+        "fig09",
+        "Figure 9: BTB MPKI at 14.5 KB (FDIP enabled)",
+        &t,
+    );
+    let (pc, pp, px) = FIG9_SERVER_MPKI;
+    println!(
+        "server averages — Conv {:.1} (paper {pc}), PDede {:.1} (paper {pp}), BTB-X {:.1} (paper {px})",
+        mean(&per_org[0]),
+        mean(&per_org[1]),
+        mean(&per_org[2]),
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 10: performance gains of Conv-BTB (with FDIP), PDede and BTB-X
+//! (each with and without FDIP) over Conv-BTB without prefetching, with
+//! the flush-reduction vs prefetching decomposition.
+
+use crate::experiments::{eval_matrix, find, is_server_workload};
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::metrics::gmean;
+use btbx_analysis::reference::{FIG10_SERVER_GAIN_FDIP, FIG10_SERVER_GAIN_NOFDIP};
+use btbx_analysis::table::TextTable;
+use btbx_core::OrgKind;
+use btbx_trace::suite;
+
+pub fn run(opts: &HarnessOpts) {
+    let results = eval_matrix(opts);
+
+    let mut t = TextTable::new([
+        "Workload",
+        "Conv+FDIP",
+        "PDede",
+        "PDede+FDIP",
+        "BTB-X",
+        "BTB-X+FDIP",
+    ]);
+    // Collect gains per group for geometric means.
+    let mut groups: std::collections::HashMap<(&str, bool, bool), Vec<f64>> =
+        std::collections::HashMap::new();
+    for spec in suite::ipc1_all() {
+        let base = find(&results, &spec.name, OrgKind::Conv, false, None)
+            .expect("baseline run")
+            .stats
+            .ipc();
+        let gain = |org: OrgKind, fdip: bool| {
+            find(&results, &spec.name, org, fdip, None)
+                .map(|r| r.stats.ipc() / base)
+                .unwrap_or(0.0)
+        };
+        let server = is_server_workload(&spec.name);
+        let cells = [
+            (OrgKind::Conv, true),
+            (OrgKind::Pdede, false),
+            (OrgKind::Pdede, true),
+            (OrgKind::BtbX, false),
+            (OrgKind::BtbX, true),
+        ];
+        let mut row = vec![spec.name.clone()];
+        for (org, fdip) in cells {
+            let g = gain(org, fdip);
+            row.push(format!("{g:.3}"));
+            groups.entry((org.id(), fdip, server)).or_default().push(g);
+        }
+        t.row(row);
+    }
+    let g = |org: OrgKind, fdip: bool, server: bool| {
+        gmean(groups.get(&(org.id(), fdip, server)).map_or(&[][..], |v| v))
+    };
+    for server in [false, true] {
+        t.row([
+            if server {
+                "server gmean"
+            } else {
+                "client gmean"
+            }
+            .to_string(),
+            format!("{:.3}", g(OrgKind::Conv, true, server)),
+            format!("{:.3}", g(OrgKind::Pdede, false, server)),
+            format!("{:.3}", g(OrgKind::Pdede, true, server)),
+            format!("{:.3}", g(OrgKind::BtbX, false, server)),
+            format!("{:.3}", g(OrgKind::BtbX, true, server)),
+        ]);
+    }
+    emit_table(
+        &opts.out_dir,
+        "fig10",
+        "Figure 10: speedup over Conv-BTB without prefetching (14.5 KB)",
+        &t,
+    );
+    let (pc, pp, px) = FIG10_SERVER_GAIN_FDIP;
+    let (qp, qx) = FIG10_SERVER_GAIN_NOFDIP;
+    println!(
+        "server gmean with FDIP  — Conv {:.3} (paper {pc}), PDede {:.3} (paper {pp}), BTB-X {:.3} (paper {px})",
+        g(OrgKind::Conv, true, true),
+        g(OrgKind::Pdede, true, true),
+        g(OrgKind::BtbX, true, true),
+    );
+    println!(
+        "server gmean no FDIP    — PDede {:.3} (paper {qp}), BTB-X {:.3} (paper {qx})",
+        g(OrgKind::Pdede, false, true),
+        g(OrgKind::BtbX, false, true),
+    );
+    println!(
+        "decomposition: 'gain from fewer flushes' = no-FDIP bar; 'gain from L1-I prefetching' = FDIP bar minus no-FDIP bar"
+    );
+}

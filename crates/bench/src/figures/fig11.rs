@@ -1,0 +1,87 @@
+//! Figure 11: performance versus BTB storage budget (0.9 KB – 58 KB) for
+//! the three organizations, normalized to Conv-BTB at 0.9 KB, separately
+//! for server and client workloads. FDIP is enabled everywhere.
+
+use crate::experiments::{budget_sweep, find, is_server_workload};
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::metrics::gmean;
+use btbx_analysis::reference::FIG11_SERVER_GAIN_14_5KB;
+use btbx_analysis::table::TextTable;
+use btbx_core::storage::BudgetPoint;
+use btbx_core::types::Arch;
+use btbx_core::OrgKind;
+use btbx_trace::suite;
+
+pub fn run(opts: &HarnessOpts) {
+    let results = budget_sweep(opts);
+    let base_budget = BudgetPoint::Kb0_9.bits(Arch::Arm64);
+
+    for server in [true, false] {
+        let mut t = TextTable::new(["Budget", "Conv-BTB", "PDede", "BTB-X"]);
+        for bp in BudgetPoint::ALL {
+            let budget = bp.bits(Arch::Arm64);
+            let mut row = vec![bp.label().to_string()];
+            for org in OrgKind::PAPER_EVAL {
+                let mut gains = Vec::new();
+                for spec in suite::ipc1_all() {
+                    if is_server_workload(&spec.name) != server {
+                        continue;
+                    }
+                    let base = find(&results, &spec.name, OrgKind::Conv, true, Some(base_budget))
+                        .expect("0.9KB conv baseline")
+                        .stats
+                        .ipc();
+                    if let Some(r) = find(&results, &spec.name, org, true, Some(budget)) {
+                        gains.push(r.stats.ipc() / base);
+                    }
+                }
+                row.push(format!("{:.3}", gmean(&gains)));
+            }
+            t.row(row);
+        }
+        let (stem, title) = if server {
+            (
+                "fig11a",
+                "Figure 11a: server gains vs budget (over 0.9 KB Conv)",
+            )
+        } else {
+            (
+                "fig11b",
+                "Figure 11b: client gains vs budget (over 0.9 KB Conv)",
+            )
+        };
+        emit_table(&opts.out_dir, stem, title, &t);
+    }
+
+    // Key takeaway check: BTB-X at half budget vs Conv (Section VI-F).
+    let gain_of = |org: OrgKind, bp: BudgetPoint| {
+        let mut gains = Vec::new();
+        for spec in suite::ipc1_all() {
+            if !is_server_workload(&spec.name) {
+                continue;
+            }
+            let base = find(&results, &spec.name, OrgKind::Conv, true, Some(base_budget))
+                .expect("baseline")
+                .stats
+                .ipc();
+            if let Some(r) = find(&results, &spec.name, org, true, Some(bp.bits(Arch::Arm64))) {
+                gains.push(r.stats.ipc() / base);
+            }
+        }
+        gmean(&gains)
+    };
+    let conv_14 = gain_of(OrgKind::Conv, BudgetPoint::Kb14_5);
+    let btbx_7 = gain_of(OrgKind::BtbX, BudgetPoint::Kb7_25);
+    let (pc, pp, px) = FIG11_SERVER_GAIN_14_5KB;
+    println!(
+        "server @14.5KB — Conv {:.3} (paper ~{pc}), PDede {:.3} (paper ~{pp}), BTB-X {:.3} (paper ~{px})",
+        conv_14,
+        gain_of(OrgKind::Pdede, BudgetPoint::Kb14_5),
+        gain_of(OrgKind::BtbX, BudgetPoint::Kb14_5),
+    );
+    println!(
+        "half-budget check: BTB-X @7.25KB {:.3} vs Conv @14.5KB {:.3} (paper: 24% vs 20% — BTB-X wins at half the storage)",
+        btbx_7, conv_14
+    );
+}

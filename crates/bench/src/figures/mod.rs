@@ -1,0 +1,22 @@
+//! One module per paper table/figure (plus the beyond-the-paper studies),
+//! each exposing `run(&HarnessOpts)`. The [`crate::registry`] maps CLI
+//! names onto these; the `btbx` binary is the only entry point.
+
+pub mod ablation;
+pub mod all_experiments;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod headroom;
+pub mod speed_probe;
+pub mod table01;
+pub mod table02;
+pub mod table03;
+pub mod table04;
+pub mod table05;
+pub mod ws_probe;

@@ -1,0 +1,27 @@
+//! Table I: BTB storage cost across Samsung Exynos generations.
+//!
+//! Reference data from Grayson et al. (ISCA 2020), reproduced here with
+//! the growth statistics the paper quotes in Section II-C (storage nearly
+//! doubling per generation; ~6× from M1 to M6).
+
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::reference::TABLE_I_EXYNOS_BTB_KB;
+use btbx_analysis::table::TextTable;
+
+pub fn run(opts: &HarnessOpts) {
+    let mut t = TextTable::new(["CPU", "BTB storage (KB)", "growth vs prev"]);
+    let mut prev: Option<f64> = None;
+    for (cpu, kb) in TABLE_I_EXYNOS_BTB_KB {
+        let growth = prev.map_or("-".to_string(), |p| format!("{:.2}x", kb / p));
+        t.row([cpu.to_string(), format!("{kb:.1}"), growth]);
+        prev = Some(kb);
+    }
+    let first = TABLE_I_EXYNOS_BTB_KB[0].1;
+    let last = TABLE_I_EXYNOS_BTB_KB[TABLE_I_EXYNOS_BTB_KB.len() - 1].1;
+    emit_table(&opts.out_dir, "table01", "Table I: Exynos BTB storage", &t);
+    println!(
+        "M1→M6 growth: {:.2}x (paper: \"nearly six fold\")",
+        last / first
+    );
+}

@@ -1,0 +1,49 @@
+//! Table II: microarchitectural parameters of the simulated core.
+
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::table::TextTable;
+use btbx_uarch::SimConfig;
+
+pub fn run(opts: &HarnessOpts) {
+    let c = SimConfig::default();
+    let mut t = TextTable::new(["Parameter", "Value"]);
+    t.row([
+        "Fetch".to_string(),
+        format!("{}-wide, {}-instruction FTQ", c.fetch_width, c.ftq_entries),
+    ]);
+    t.row([
+        "Branch predictor".to_string(),
+        "Hashed Perceptron".to_string(),
+    ]);
+    t.row([
+        "Return address stack".to_string(),
+        format!("{} entries", c.ras_entries),
+    ]);
+    t.row([
+        "Re-order buffer".to_string(),
+        format!("{} entries", c.rob_entries),
+    ]);
+    let cache = |p: btbx_uarch::config::CacheParams| {
+        format!(
+            "{} KB, {}-way, {} cycle latency, {} MSHRs",
+            p.bytes / 1024,
+            p.ways,
+            p.latency,
+            p.mshrs
+        )
+    };
+    t.row(["L1-I".to_string(), cache(c.l1i)]);
+    t.row(["L1-D".to_string(), cache(c.l1d)]);
+    t.row(["L2".to_string(), cache(c.l2)]);
+    t.row(["LLC".to_string(), cache(c.llc)]);
+    t.row([
+        "Memory latency".to_string(),
+        format!("{} cycles", c.memory_latency),
+    ]);
+    t.row([
+        "Decode / execute resteer depth".to_string(),
+        format!("{} / {} cycles", c.decode_depth, c.execute_depth),
+    ]);
+    emit_table(&opts.out_dir, "table02", "Table II: simulated core", &t);
+}

@@ -1,0 +1,27 @@
+//! Table III: BTB-X storage requirements at each entry count.
+
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::table::TextTable;
+use btbx_core::storage::table_iii;
+use btbx_core::types::Arch;
+
+pub fn run(opts: &HarnessOpts) {
+    let mut t = TextTable::new(["Entries", "Sets", "Set size", "BTB-XC", "Storage"]);
+    for row in table_iii(Arch::Arm64) {
+        t.row([
+            format!("{}({})", row.entries, row.xc_entries),
+            format!("{}({})", row.sets, row.xc_entries),
+            format!("{}({})-bits", row.set_bits, row.xc_entry_bits),
+            format!("{}", row.xc_entries),
+            format!("{:.4} KB", row.storage_kb),
+        ]);
+    }
+    emit_table(
+        &opts.out_dir,
+        "table03",
+        "Table III: BTB-X storage requirements (Arm64)",
+        &t,
+    );
+    println!("Paper row labels: 0.9, 1.8, 3.6, 7.25, 14.5, 29, 58 KB.");
+}

@@ -1,0 +1,68 @@
+//! Table IV: branches trackable by BTB-X, PDede and the conventional BTB
+//! at equal storage budgets — the paper's 2.24× / 1.24–1.34× headline.
+
+use crate::report::emit_table;
+use crate::HarnessOpts;
+use btbx_analysis::table::TextTable;
+use btbx_core::storage::{mean_capacity_vs_conv, table_iv, table_x86};
+use btbx_core::types::Arch;
+
+pub fn run(opts: &HarnessOpts) {
+    let mut t = TextTable::new([
+        "Budget",
+        "BTB-X + XC",
+        "PDede page KB",
+        "PDede main KB",
+        "PDede entry",
+        "PDede",
+        "Conv",
+        "X/PDede",
+        "X/Conv",
+    ]);
+    for row in table_iv(Arch::Arm64) {
+        t.row([
+            row.budget.label().to_string(),
+            format!("{} + {}", row.btbx_branches, row.btbxc_branches),
+            format!("{:.3}", row.pdede_page_kb),
+            format!("{:.3}", row.pdede_main_kb),
+            format!("{:.1}-bits", row.pdede_entry_bits),
+            row.pdede_branches.to_string(),
+            row.conv_branches.to_string(),
+            format!("{:.2}x", row.btbx_vs_pdede()),
+            format!("{:.2}x", row.btbx_vs_conv()),
+        ]);
+    }
+    emit_table(
+        &opts.out_dir,
+        "table04",
+        "Table IV: branches per storage budget (Arm64)",
+        &t,
+    );
+    println!(
+        "mean capacity vs Conv: {:.2}x (paper 2.24x)",
+        mean_capacity_vs_conv(Arch::Arm64)
+    );
+
+    // Section VI-G: the x86 re-analysis.
+    let mut tx = TextTable::new(["Budget", "BTB-X + XC", "PDede", "Conv", "X/PDede", "X/Conv"]);
+    for row in table_x86() {
+        tx.row([
+            row.budget.label().to_string(),
+            format!("{} + {}", row.btbx_branches, row.btbxc_branches),
+            row.pdede_branches.to_string(),
+            row.conv_branches.to_string(),
+            format!("{:.2}x", row.btbx_vs_pdede()),
+            format!("{:.2}x", row.btbx_vs_conv()),
+        ]);
+    }
+    emit_table(
+        &opts.out_dir,
+        "table04_x86",
+        "Section VI-G: capacity analysis for x86 BTB-X sizing",
+        &tx,
+    );
+    println!(
+        "mean capacity vs Conv (x86): {:.2}x (paper 2.18x)",
+        mean_capacity_vs_conv(Arch::X86)
+    );
+}

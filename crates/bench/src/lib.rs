@@ -1,21 +1,31 @@
 //! Experiment harness for the BTB-X reproduction.
 //!
-//! One binary per paper table/figure (`fig04`, `fig09`, …, `table05`) plus
-//! `all_experiments`, which runs the full set and rewrites
-//! `EXPERIMENTS.md`. Shared machinery lives here:
+//! One binary — `btbx` — regenerates every paper table and figure through
+//! subcommands (`btbx fig 9`, `btbx table 3`, `btbx all`, `btbx sweep`);
+//! see EXPERIMENTS.md for the CLI guide. The machinery:
 //!
-//! * [`opts`] — command-line options (`--warmup`, `--measure`, `--quick`,
-//!   `--fresh`, `--out`);
+//! * [`registry`] — the table of every runnable experiment; the CLI
+//!   derives dispatch, `btbx list` and `btbx all` from it;
+//! * [`figures`] — one `run(&HarnessOpts)` function per experiment;
+//! * [`sweep`] — declarative workloads × orgs × budgets × FDIP matrices
+//!   ([`Sweep`]), serde-serializable and executed behind a
+//!   content-addressed per-simulation cache keyed by *all* parameters
+//!   (workload, organization, budget, windows, `SimConfig`);
+//! * [`experiments`] — the named sweeps behind the figures
+//!   (`eval_matrix`, `budget_sweep`) and the offset-study drivers;
+//! * [`opts`] — shared command-line options (`--warmup`, `--measure`,
+//!   `--quick`, `--fresh`, `--threads`, `--out`), `Result`-based;
 //! * [`runner`] — a small work-stealing thread pool for simulation
 //!   sweeps;
-//! * [`experiments`] — the drivers that produce each figure's data,
-//!   caching simulation matrices as JSON under the results directory so
-//!   `fig09`/`fig10`/`table05` share one set of runs;
 //! * [`report`] — text/CSV emission helpers.
 
 pub mod experiments;
+pub mod figures;
 pub mod opts;
+pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use opts::HarnessOpts;
+pub use sweep::{SimPoint, Sweep};

@@ -1,4 +1,4 @@
-//! Command-line options shared by every harness binary.
+//! Command-line options shared by every `btbx` subcommand.
 
 use std::path::PathBuf;
 
@@ -17,9 +17,10 @@ pub struct HarnessOpts {
     pub measure: u64,
     /// Instructions per workload for offset-distribution studies.
     pub offset_instrs: u64,
-    /// Ignore cached simulation matrices and re-run.
+    /// Ignore cached simulation results and re-run (the cache is still
+    /// refreshed with the new results).
     pub fresh: bool,
-    /// Output directory for CSV/JSON artifacts.
+    /// Output directory for CSV/JSON artifacts and the simulation cache.
     pub out_dir: PathBuf,
     /// Worker threads.
     pub threads: usize,
@@ -40,24 +41,82 @@ impl Default for HarnessOpts {
     }
 }
 
+/// A command-line parse failure, formatted for terminal display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// A flag that is not part of the option grammar.
+    UnknownFlag(String),
+    /// A flag whose value is missing or not a number.
+    BadValue {
+        /// The flag, e.g. `--warmup`.
+        flag: String,
+        /// What was found instead of a value.
+        found: Option<String>,
+    },
+    /// `--help` was requested; the caller should print usage and exit 0.
+    HelpRequested,
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::UnknownFlag(flag) => {
+                write!(f, "unknown option `{flag}` (try --help)")
+            }
+            OptError::BadValue {
+                flag,
+                found: Some(v),
+            } => {
+                write!(f, "{flag} expects a number, got `{v}`")
+            }
+            OptError::BadValue { flag, found: None } => {
+                write!(f, "{flag} expects a value")
+            }
+            OptError::HelpRequested => f.write_str("help requested"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Usage text for the shared options (each subcommand prepends its own).
+pub const OPTIONS_USAGE: &str = "\
+options:
+  --warmup N         warm-up instructions per simulation   [500000]
+  --measure N        measured instructions per simulation  [1000000]
+  --offset-instrs N  instructions per offset study         [1000000]
+  --quick            preset: 150k warm-up / 300k measured windows
+  --threads N        worker threads                        [all cores]
+  --fresh            re-simulate even when cached results exist
+  --out DIR          artifact + cache directory            [results]
+  -h, --help         show this help";
+
 impl HarnessOpts {
     /// Parse from an iterator of arguments (without the program name).
     ///
-    /// Unknown flags abort with a usage message.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// # Errors
+    ///
+    /// [`OptError`] on unknown flags or malformed values;
+    /// [`OptError::HelpRequested`] when `--help`/`-h` is present.
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, OptError> {
         let mut opts = HarnessOpts::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut take = |name: &str| -> u64 {
-                it.next()
+            let mut take = |flag: &str| -> Result<u64, OptError> {
+                let found = it.next();
+                found
+                    .as_deref()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("{name} expects a number"))
+                    .ok_or(OptError::BadValue {
+                        flag: flag.to_string(),
+                        found,
+                    })
             };
             match arg.as_str() {
-                "--warmup" => opts.warmup = take("--warmup"),
-                "--measure" => opts.measure = take("--measure"),
-                "--offset-instrs" => opts.offset_instrs = take("--offset-instrs"),
-                "--threads" => opts.threads = take("--threads") as usize,
+                "--warmup" => opts.warmup = take("--warmup")?,
+                "--measure" => opts.measure = take("--measure")?,
+                "--offset-instrs" => opts.offset_instrs = take("--offset-instrs")?,
+                "--threads" => opts.threads = take("--threads")? as usize,
                 "--quick" => {
                     opts.warmup = 150_000;
                     opts.measure = 300_000;
@@ -65,26 +124,33 @@ impl HarnessOpts {
                 }
                 "--fresh" => opts.fresh = true,
                 "--out" => {
-                    opts.out_dir = PathBuf::from(
-                        it.next().expect("--out expects a directory"),
-                    );
+                    let dir = it.next().ok_or(OptError::BadValue {
+                        flag: "--out".to_string(),
+                        found: None,
+                    })?;
+                    opts.out_dir = PathBuf::from(dir);
                 }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "options: [--warmup N] [--measure N] [--offset-instrs N] \
-                         [--threads N] [--quick] [--fresh] [--out DIR]"
-                    );
-                    std::process::exit(0);
-                }
-                other => panic!("unknown option {other}; try --help"),
+                "--help" | "-h" => return Err(OptError::HelpRequested),
+                other => return Err(OptError::UnknownFlag(other.to_string())),
             }
         }
-        opts
+        Ok(opts)
     }
 
-    /// Parse from the process arguments.
+    /// Parse from the process arguments, exiting with usage on errors (the
+    /// behaviour every binary wants at top level).
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(OptError::HelpRequested) => {
+                println!("{OPTIONS_USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n{OPTIONS_USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 
@@ -92,20 +158,20 @@ impl HarnessOpts {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> HarnessOpts {
-        HarnessOpts::parse(args.iter().map(|s| s.to_string()))
+    fn parse(args: &[&str]) -> Result<HarnessOpts, OptError> {
+        HarnessOpts::try_parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults() {
-        let o = parse(&[]);
+        let o = parse(&[]).unwrap();
         assert_eq!(o.warmup, 500_000);
         assert!(!o.fresh);
     }
 
     #[test]
     fn numeric_flags() {
-        let o = parse(&["--warmup", "1000", "--measure", "2000", "--threads", "4"]);
+        let o = parse(&["--warmup", "1000", "--measure", "2000", "--threads", "4"]).unwrap();
         assert_eq!(o.warmup, 1000);
         assert_eq!(o.measure, 2000);
         assert_eq!(o.threads, 4);
@@ -113,20 +179,55 @@ mod tests {
 
     #[test]
     fn quick_scales_down() {
-        let o = parse(&["--quick"]);
+        let o = parse(&["--quick"]).unwrap();
         assert!(o.measure < HarnessOpts::default().measure);
     }
 
     #[test]
     fn out_dir() {
-        let o = parse(&["--out", "/tmp/x", "--fresh"]);
+        let o = parse(&["--out", "/tmp/x", "--fresh"]).unwrap();
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
         assert!(o.fresh);
     }
 
     #[test]
-    #[should_panic(expected = "unknown option")]
-    fn unknown_flag_panics() {
-        parse(&["--bogus"]);
+    fn unknown_flag_is_an_error() {
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(OptError::UnknownFlag("--bogus".to_string()))
+        );
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_errors() {
+        assert_eq!(
+            parse(&["--warmup"]),
+            Err(OptError::BadValue {
+                flag: "--warmup".to_string(),
+                found: None
+            })
+        );
+        assert_eq!(
+            parse(&["--measure", "lots"]),
+            Err(OptError::BadValue {
+                flag: "--measure".to_string(),
+                found: Some("lots".to_string())
+            })
+        );
+        assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn help_is_reported_not_exited() {
+        assert_eq!(parse(&["--help"]), Err(OptError::HelpRequested));
+        assert_eq!(parse(&["-h"]), Err(OptError::HelpRequested));
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = parse(&["--bogus"]).unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+        let e = parse(&["--warmup", "x"]).unwrap_err();
+        assert!(e.to_string().contains("expects a number"));
     }
 }

@@ -1,0 +1,223 @@
+//! The experiment registry: every reproducible table, figure and study,
+//! addressable by name from the `btbx` CLI.
+//!
+//! Registering an experiment is one [`Experiment`] row; the CLI derives
+//! `btbx fig N` / `btbx table N` dispatch, `btbx list` output and
+//! `btbx all` ordering from this table.
+
+use crate::figures;
+use crate::HarnessOpts;
+
+/// What kind of artifact an experiment reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentKind {
+    /// A numbered paper figure (`btbx fig N`).
+    Figure(u32),
+    /// A numbered paper table (`btbx table N`).
+    Table(u32),
+    /// A named study beyond the paper (`btbx <name>`).
+    Study,
+}
+
+/// One registered experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// CLI name (`fig04`, `table03`, `ablation`, …).
+    pub name: &'static str,
+    /// Paper figure/table number, if any.
+    pub kind: ExperimentKind,
+    /// One-line description for `btbx list`.
+    pub description: &'static str,
+    /// Entry point.
+    pub run: fn(&HarnessOpts),
+    /// Whether `btbx all` includes it (probes are diagnostics, not part
+    /// of the reproduction).
+    pub in_all: bool,
+}
+
+/// Every experiment, in the order `btbx list` and `btbx all` use.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "fig01",
+        kind: ExperimentKind::Figure(1),
+        description: "conventional BTB entry composition (72% target bits)",
+        run: figures::fig01::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig03",
+        kind: ExperimentKind::Figure(3),
+        description: "branch target offset worked example",
+        run: figures::fig03::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig04",
+        kind: ExperimentKind::Figure(4),
+        description: "offset distribution across IPC-1 workloads",
+        run: figures::fig04::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig09",
+        kind: ExperimentKind::Figure(9),
+        description: "BTB MPKI per workload at 14.5 KB",
+        run: figures::fig09::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig10",
+        kind: ExperimentKind::Figure(10),
+        description: "speedup over Conv-BTB without prefetching",
+        run: figures::fig10::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig11",
+        kind: ExperimentKind::Figure(11),
+        description: "performance vs storage budget (0.9-58 KB)",
+        run: figures::fig11::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig12",
+        kind: ExperimentKind::Figure(12),
+        description: "CVP-1 offset distribution vs IPC-1",
+        run: figures::fig12::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "fig13",
+        kind: ExperimentKind::Figure(13),
+        description: "x86 offset distribution and BTB-X sizing",
+        run: figures::fig13::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "table01",
+        kind: ExperimentKind::Table(1),
+        description: "Exynos BTB storage growth (reference data)",
+        run: figures::table01::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "table02",
+        kind: ExperimentKind::Table(2),
+        description: "simulated core parameters",
+        run: figures::table02::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "table03",
+        kind: ExperimentKind::Table(3),
+        description: "BTB-X storage requirements per entry count",
+        run: figures::table03::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "table04",
+        kind: ExperimentKind::Table(4),
+        description: "branches trackable per storage budget",
+        run: figures::table04::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "table05",
+        kind: ExperimentKind::Table(5),
+        description: "BTB energy and access latency at 14.5 KB",
+        run: figures::table05::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "ablation",
+        kind: ExperimentKind::Study,
+        description: "knock out each BTB-X design choice",
+        run: figures::ablation::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "headroom",
+        kind: ExperimentKind::Study,
+        description: "realistic BTBs vs an infinite BTB",
+        run: figures::headroom::run,
+        in_all: true,
+    },
+    Experiment {
+        name: "speed-probe",
+        kind: ExperimentKind::Study,
+        description: "diagnostic: per-workload predictor rates",
+        run: figures::speed_probe::run,
+        in_all: false,
+    },
+    Experiment {
+        name: "ws-probe",
+        kind: ExperimentKind::Study,
+        description: "diagnostic: static working-set way pressure",
+        run: figures::ws_probe::run,
+        in_all: false,
+    },
+];
+
+/// Look up an experiment by CLI name (`fig04`, `table03`, `ablation`).
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Look up a numbered figure.
+pub fn figure(n: u32) -> Option<&'static Experiment> {
+    REGISTRY
+        .iter()
+        .find(|e| e.kind == ExperimentKind::Figure(n))
+}
+
+/// Look up a numbered table.
+pub fn table(n: u32) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.kind == ExperimentKind::Table(n))
+}
+
+/// The full-reproduction document generator (`btbx all` runs this after
+/// the registry entries flagged `in_all`).
+pub fn results_document() -> fn(&HarnessOpts) {
+    figures::all_experiments::run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_artifact_is_registered() {
+        for n in [1u32, 3, 4, 9, 10, 11, 12, 13] {
+            assert!(figure(n).is_some(), "figure {n}");
+        }
+        for n in 1u32..=5 {
+            assert!(table(n).is_some(), "table {n}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for e in REGISTRY {
+            assert_eq!(find(e.name).unwrap().name, e.name);
+        }
+        let mut names: Vec<_> = REGISTRY.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn probes_are_excluded_from_all() {
+        assert!(!find("speed-probe").unwrap().in_all);
+        assert!(!find("ws-probe").unwrap().in_all);
+        assert!(find("fig09").unwrap().in_all);
+    }
+
+    #[test]
+    fn registry_covers_all_18_former_binaries() {
+        // 17 registry entries + the results document = the 18 binaries
+        // this registry replaced.
+        assert_eq!(REGISTRY.len(), 17);
+        let _ = results_document();
+    }
+}

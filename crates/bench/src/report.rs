@@ -1,5 +1,5 @@
 //! Report emission: writing text/CSV artifacts and assembling the
-//! EXPERIMENTS.md comparison document.
+//! RESULTS.md comparison document.
 
 use btbx_analysis::table::TextTable;
 use std::fs;

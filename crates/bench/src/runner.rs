@@ -22,8 +22,7 @@ where
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     // Jobs are FnOnce; store them as Options so workers can take them.
-    let slots: Vec<Mutex<Option<F>>> =
-        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
@@ -37,7 +36,7 @@ where
                 let result = job();
                 *results[i].lock().unwrap() = Some(result);
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d % 10 == 0 || d == total {
+                if d.is_multiple_of(10) || d == total {
                     eprintln!("[{label}] {d}/{total}");
                 }
             });

@@ -1,0 +1,442 @@
+//! Declarative simulation sweeps: the cross-product of workloads ×
+//! organizations × budgets × FDIP expressed as plain data, executed on the
+//! [`crate::runner`] thread pool behind a content-addressed result cache.
+//!
+//! A [`Sweep`] is serde-serializable, so experiment matrices can live in
+//! JSON files and travel between machines:
+//!
+//! ```
+//! use btbx_bench::sweep::Sweep;
+//! use btbx_core::storage::BudgetPoint;
+//! use btbx_core::OrgKind;
+//! use btbx_trace::suite;
+//!
+//! let sweep = Sweep::named("demo")
+//!     .workloads(suite::ipc1_client().into_iter().take(2))
+//!     .orgs(OrgKind::PAPER_EVAL)
+//!     .budgets([BudgetPoint::Kb14_5])
+//!     .fdip_options([true])
+//!     .windows(10_000, 20_000);
+//! assert_eq!(sweep.points().len(), 2 * 3);
+//! let json = sweep.to_json().unwrap();
+//! assert_eq!(Sweep::from_json(&json).unwrap(), sweep);
+//! ```
+//!
+//! # Caching
+//!
+//! Every [`SimPoint`] — one simulation — is cached as one JSON file under
+//! `<out_dir>/cache/`, keyed by an FNV-1a hash of the *complete* point:
+//! workload generator parameters, organization, budget, architecture,
+//! warm-up and measurement windows, and the full simulator configuration.
+//! Changing any of them (notably `--warmup`/`--measure`, which the old
+//! `eval_matrix.json`-style caches ignored) therefore misses the cache and
+//! re-simulates instead of returning stale results. `--fresh` bypasses
+//! reads but still refreshes the cache.
+
+use crate::opts::HarnessOpts;
+use crate::runner::run_jobs;
+use btbx_core::spec::{BtbSpec, Budget};
+use btbx_core::OrgKind;
+use btbx_trace::suite::WorkloadSpec;
+use btbx_uarch::{SimConfig, SimResult, SimSession};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump to invalidate every cached simulation (simulator semantics
+/// changed, stats gained fields, …).
+pub const CACHE_VERSION: u32 = 1;
+
+/// One cell of a sweep: everything that determines one simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimPoint {
+    /// Workload to trace.
+    pub workload: WorkloadSpec,
+    /// BTB organization under test.
+    pub org: OrgKind,
+    /// Storage budget.
+    pub budget: Budget,
+    /// Warm-up instructions.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+    /// Full simulator configuration; `config.fdip` is the point's FDIP
+    /// setting (there is deliberately no separate flag to diverge from).
+    pub config: SimConfig,
+}
+
+impl SimPoint {
+    /// The BTB spec this point builds (architecture follows the workload).
+    pub fn btb_spec(&self) -> BtbSpec {
+        BtbSpec::of(self.org)
+            .budget(self.budget)
+            .arch(self.workload.params.arch)
+    }
+
+    /// Content hash identifying this point (and [`CACHE_VERSION`]).
+    pub fn cache_key(&self) -> String {
+        let payload = serde_json::to_string(self).expect("points serialize");
+        format!("{:016x}", fnv1a(payload.as_bytes(), CACHE_VERSION as u64))
+    }
+
+    /// File name of the cached result.
+    pub fn cache_file(&self) -> String {
+        format!(
+            "{}-{}-{}.json",
+            self.workload.name,
+            self.org.id(),
+            self.cache_key()
+        )
+    }
+
+    /// Run the simulation for this point (no caching).
+    pub fn run(&self) -> SimResult {
+        SimSession::new(self.workload.build_trace())
+            .btb_spec(self.btb_spec())
+            .config(self.config.clone())
+            .label(self.org.id())
+            .warmup(self.warmup)
+            .measure(self.measure)
+            .run()
+            .unwrap_or_else(|e| panic!("sim point {}: {e}", self.cache_file()))
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`, folded over `seed`.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A declarative simulation matrix: workloads × orgs × budgets × FDIP at
+/// fixed windows and simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Display name (progress reporting; not part of cache keys).
+    pub name: String,
+    /// Workloads to simulate.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Organizations to compare.
+    pub orgs: Vec<OrgKind>,
+    /// Budgets to sweep.
+    pub budgets: Vec<Budget>,
+    /// FDIP settings to cover (e.g. `[true]` or `[false, true]`).
+    pub fdip: Vec<bool>,
+    /// Warm-up instructions per simulation.
+    pub warmup: u64,
+    /// Measured instructions per simulation.
+    pub measure: u64,
+    /// Base simulator configuration; the per-point FDIP flag is applied on
+    /// top of it.
+    pub config: SimConfig,
+}
+
+impl Sweep {
+    /// An empty sweep with the Table II configuration and the paper's
+    /// default 14.5 KB budget; fill in workloads/orgs with the builder
+    /// methods.
+    pub fn named(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            workloads: Vec::new(),
+            orgs: Vec::new(),
+            budgets: vec![Budget::Point(btbx_core::storage::BudgetPoint::Kb14_5)],
+            fdip: vec![true],
+            warmup: 500_000,
+            measure: 1_000_000,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Set the workloads.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads = specs.into_iter().collect();
+        self
+    }
+
+    /// Set the organizations.
+    pub fn orgs(mut self, orgs: impl IntoIterator<Item = OrgKind>) -> Self {
+        self.orgs = orgs.into_iter().collect();
+        self
+    }
+
+    /// Set the budgets.
+    pub fn budgets(mut self, budgets: impl IntoIterator<Item = impl Into<Budget>>) -> Self {
+        self.budgets = budgets.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Set which FDIP settings to cover.
+    pub fn fdip_options(mut self, fdip: impl IntoIterator<Item = bool>) -> Self {
+        self.fdip = fdip.into_iter().collect();
+        self
+    }
+
+    /// Cover both FDIP-off and FDIP-on (the Figure 10 decomposition).
+    pub fn fdip_both(self) -> Self {
+        self.fdip_options([false, true])
+    }
+
+    /// Set warm-up and measurement windows.
+    pub fn windows(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Replace the base simulator configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Expand the cross-product, outermost to innermost: budget, workload,
+    /// organization, FDIP.
+    pub fn points(&self) -> Vec<SimPoint> {
+        let mut points = Vec::with_capacity(
+            self.budgets.len() * self.workloads.len() * self.orgs.len() * self.fdip.len(),
+        );
+        for &budget in &self.budgets {
+            for workload in &self.workloads {
+                for &org in &self.orgs {
+                    for &fdip in &self.fdip {
+                        let mut config = self.config.clone();
+                        config.fdip = fdip;
+                        points.push(SimPoint {
+                            workload: workload.clone(),
+                            org,
+                            budget,
+                            warmup: self.warmup,
+                            measure: self.measure,
+                            config,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Serialize the sweep definition to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a sweep definition from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Run every point, reading and writing the per-point cache under
+    /// `opts.out_dir/cache`. Results come back in [`Sweep::points`] order.
+    pub fn run(&self, opts: &HarnessOpts) -> Vec<SimResult> {
+        let cache_dir = opts.out_dir.join("cache");
+        let points = self.points();
+        let mut results: Vec<Option<SimResult>> = Vec::with_capacity(points.len());
+        let mut jobs = Vec::new();
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, point) in points.iter().enumerate() {
+            let path = cache_dir.join(point.cache_file());
+            let cached = if opts.fresh { None } else { load_cached(&path) };
+            match cached {
+                Some(r) => results.push(Some(r)),
+                None => {
+                    results.push(None);
+                    misses.push(i);
+                    let point = point.clone();
+                    jobs.push(move || point.run());
+                }
+            }
+        }
+        let hits = points.len() - misses.len();
+        if hits > 0 {
+            eprintln!("[{}] {hits}/{} cached", self.name, points.len());
+        }
+        let fresh = run_jobs(&self.name, opts.threads, jobs);
+        for (i, result) in misses.into_iter().zip(fresh) {
+            store_cached(&cache_dir.join(points[i].cache_file()), &result);
+            results[i] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("all points resolved"))
+            .collect()
+    }
+}
+
+fn load_cached(path: &Path) -> Option<SimResult> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn store_cached(path: &PathBuf, result: &SimResult) {
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_string(result) {
+        let _ = fs::write(path, json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_core::storage::BudgetPoint;
+    use btbx_trace::suite;
+
+    fn tiny_opts(dir: &str) -> HarnessOpts {
+        HarnessOpts {
+            warmup: 5_000,
+            measure: 10_000,
+            offset_instrs: 50_000,
+            fresh: false,
+            out_dir: std::env::temp_dir().join(dir),
+            threads: 2,
+        }
+    }
+
+    fn tiny_sweep(warmup: u64, measure: u64) -> Sweep {
+        Sweep::named("unit")
+            .workloads(suite::ipc1_client().into_iter().take(1))
+            .orgs([OrgKind::Conv])
+            .budgets([BudgetPoint::Kb0_9])
+            .fdip_options([false])
+            .windows(warmup, measure)
+    }
+
+    #[test]
+    fn cross_product_order_and_size() {
+        let sweep = Sweep::named("x")
+            .workloads(suite::ipc1_client().into_iter().take(2))
+            .orgs(OrgKind::PAPER_EVAL)
+            .budgets([BudgetPoint::Kb0_9, BudgetPoint::Kb14_5])
+            .fdip_both();
+        let points = sweep.points();
+        assert_eq!(points.len(), 2 * 3 * 2 * 2);
+        // Outermost budget, innermost fdip.
+        assert_eq!(points[0].budget, Budget::Point(BudgetPoint::Kb0_9));
+        assert!(!points[0].config.fdip);
+        assert!(points[1].config.fdip);
+        assert_eq!(points[1].org, points[0].org);
+        let last = points.last().unwrap();
+        assert_eq!(last.budget, Budget::Point(BudgetPoint::Kb14_5));
+        assert!(last.config.fdip);
+    }
+
+    #[test]
+    fn sweep_round_trips_through_json() {
+        let sweep = Sweep::named("rt")
+            .workloads(suite::x86_apps().into_iter().take(1))
+            .orgs([OrgKind::BtbX, OrgKind::Pdede])
+            .budgets([Budget::Bits(99_000)])
+            .fdip_both()
+            .windows(1_000, 2_000);
+        let json = sweep.to_json().unwrap();
+        let back = Sweep::from_json(&json).unwrap();
+        assert_eq!(back, sweep);
+        // And the parsed sweep hashes to the same cache keys.
+        assert_eq!(back.points()[0].cache_key(), sweep.points()[0].cache_key());
+    }
+
+    #[test]
+    fn cache_keys_cover_the_whole_point() {
+        let base = tiny_sweep(5_000, 10_000).points().remove(0);
+        let mut other = base.clone();
+        assert_eq!(base.cache_key(), other.cache_key());
+        other.warmup += 1;
+        assert_ne!(base.cache_key(), other.cache_key(), "warmup must key");
+        other = base.clone();
+        other.measure += 1;
+        assert_ne!(base.cache_key(), other.cache_key(), "measure must key");
+        other = base.clone();
+        other.config.rob_entries += 1;
+        assert_ne!(base.cache_key(), other.cache_key(), "config must key");
+        other = base.clone();
+        other.org = OrgKind::BtbX;
+        assert_ne!(base.cache_key(), other.cache_key(), "org must key");
+        other = base.clone();
+        other.budget = Budget::Bits(12_345);
+        assert_ne!(base.cache_key(), other.cache_key(), "budget must key");
+    }
+
+    #[test]
+    fn changed_window_misses_the_cache() {
+        // Regression test for the parameter-blind cache of the old
+        // experiments module: a run with different --warmup/--measure must
+        // re-simulate, not reuse the cached matrix.
+        let opts = tiny_opts("btbx-sweep-staleness");
+        let _ = fs::remove_dir_all(&opts.out_dir);
+
+        let r1 = tiny_sweep(5_000, 10_000).run(&opts);
+        assert_eq!(r1.len(), 1);
+        assert!((10_000..10_006).contains(&r1[0].stats.instructions));
+
+        // Same sweep, longer window: the old cache would have returned the
+        // 10k-instruction result unchanged.
+        let r2 = tiny_sweep(5_000, 20_000).run(&opts);
+        assert!(
+            (20_000..20_006).contains(&r2[0].stats.instructions),
+            "stale cache returned: {} instructions",
+            r2[0].stats.instructions
+        );
+
+        // Unchanged parameters do hit the cache (byte-identical result).
+        let r3 = tiny_sweep(5_000, 10_000).run(&opts);
+        assert_eq!(r3[0].stats.instructions, r1[0].stats.instructions);
+        assert_eq!(r3[0].stats.cycles, r1[0].stats.cycles);
+
+        // Both windows' artifacts coexist in the cache directory.
+        let cache_files = fs::read_dir(opts.out_dir.join("cache")).unwrap().count();
+        assert_eq!(cache_files, 2);
+        let _ = fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn fresh_flag_bypasses_reads_but_refreshes() {
+        let mut opts = tiny_opts("btbx-sweep-fresh");
+        let _ = fs::remove_dir_all(&opts.out_dir);
+        let sweep = tiny_sweep(2_000, 4_000);
+        let r1 = sweep.run(&opts);
+        // Poison the cache file; a fresh run must overwrite it.
+        let cache = opts
+            .out_dir
+            .join("cache")
+            .join(sweep.points()[0].cache_file());
+        fs::write(&cache, "{not json").unwrap();
+        opts.fresh = true;
+        let r2 = sweep.run(&opts);
+        assert_eq!(r1[0].stats.instructions, r2[0].stats.instructions);
+        opts.fresh = false;
+        let r3 = sweep.run(&opts);
+        assert_eq!(r3[0].stats.cycles, r1[0].stats.cycles);
+        let _ = fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_resimulated() {
+        let opts = tiny_opts("btbx-sweep-corrupt");
+        let _ = fs::remove_dir_all(&opts.out_dir);
+        let sweep = tiny_sweep(2_000, 4_000);
+        let r1 = sweep.run(&opts);
+        let cache = opts
+            .out_dir
+            .join("cache")
+            .join(sweep.points()[0].cache_file());
+        fs::write(&cache, "garbage").unwrap();
+        let r2 = sweep.run(&opts);
+        assert_eq!(r1[0].stats.instructions, r2[0].stats.instructions);
+        let _ = fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn point_spec_follows_workload_arch() {
+        let x86 = suite::x86_apps().remove(0);
+        let sweep = Sweep::named("arch").workloads([x86]).orgs([OrgKind::BtbX]);
+        let spec = sweep.points()[0].btb_spec();
+        assert_eq!(spec.arch, btbx_core::Arch::X86);
+    }
+}

@@ -113,9 +113,15 @@ mod tests {
             site: HitSite::Indirect,
         };
         assert_eq!(hit.extra_latency(), 1);
-        let hit = BtbHit { site: HitSite::Main, ..hit };
+        let hit = BtbHit {
+            site: HitSite::Main,
+            ..hit
+        };
         assert_eq!(hit.extra_latency(), 0);
-        let hit = BtbHit { site: HitSite::Overflow, ..hit };
+        let hit = BtbHit {
+            site: HitSite::Overflow,
+            ..hit
+        };
         assert_eq!(hit.extra_latency(), 0);
     }
 }

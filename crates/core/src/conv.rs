@@ -193,7 +193,11 @@ mod tests {
     fn miss_then_update_then_hit() {
         let mut b = btb();
         assert!(b.lookup(0x4000).is_none());
-        b.update(&BranchEvent::taken(0x4000, 0x5000, BranchClass::UncondDirect));
+        b.update(&BranchEvent::taken(
+            0x4000,
+            0x5000,
+            BranchClass::UncondDirect,
+        ));
         let hit = b.lookup(0x4000).expect("hit after update");
         assert_eq!(hit.target, TargetSource::Address(0x5000));
         assert_eq!(hit.btype, BtbBranchType::Unconditional);
@@ -204,21 +208,36 @@ mod tests {
     fn not_taken_branches_do_not_allocate() {
         let mut b = btb();
         b.update(&BranchEvent::not_taken(0x4000, 0x5000));
-        assert!(b.lookup(0x4000).is_none(), "Section VI-A: taken-only update");
+        assert!(
+            b.lookup(0x4000).is_none(),
+            "Section VI-A: taken-only update"
+        );
     }
 
     #[test]
     fn returns_resolve_via_ras() {
         let mut b = btb();
-        b.update(&BranchEvent::taken(0x4000, 0x9999_0000, BranchClass::Return));
+        b.update(&BranchEvent::taken(
+            0x4000,
+            0x9999_0000,
+            BranchClass::Return,
+        ));
         assert_eq!(b.lookup(0x4000).unwrap().target, TargetSource::ReturnStack);
     }
 
     #[test]
     fn target_change_rewrites_entry() {
         let mut b = btb();
-        b.update(&BranchEvent::taken(0x4000, 0x5000, BranchClass::CallIndirect));
-        b.update(&BranchEvent::taken(0x4000, 0x7000, BranchClass::CallIndirect));
+        b.update(&BranchEvent::taken(
+            0x4000,
+            0x5000,
+            BranchClass::CallIndirect,
+        ));
+        b.update(&BranchEvent::taken(
+            0x4000,
+            0x7000,
+            BranchClass::CallIndirect,
+        ));
         assert_eq!(
             b.lookup(0x4000).unwrap().target,
             TargetSource::Address(0x7000)
@@ -239,7 +258,7 @@ mod tests {
     #[test]
     fn capacity_eviction_is_lru() {
         let mut b = ConvBtb::with_entries(8, Arch::Arm64); // one set
-        // Fill all 8 ways with branches mapping to set 0.
+                                                           // Fill all 8 ways with branches mapping to set 0.
         let stride = 4u64; // consecutive instruction words share the set in a 1-set BTB
         for i in 0..8u64 {
             b.update(&BranchEvent::taken(
@@ -250,7 +269,11 @@ mod tests {
         }
         // Touch the first so it is MRU, then insert a ninth branch.
         assert!(b.lookup(0x1000).is_some());
-        b.update(&BranchEvent::taken(0x9000, 0x2000, BranchClass::UncondDirect));
+        b.update(&BranchEvent::taken(
+            0x9000,
+            0x2000,
+            BranchClass::UncondDirect,
+        ));
         assert!(b.lookup(0x1000).is_some(), "MRU entry must survive");
         assert!(b.lookup(0x9000).is_some());
     }
@@ -286,7 +309,11 @@ mod tests {
     #[test]
     fn clear_empties_everything() {
         let mut b = btb();
-        b.update(&BranchEvent::taken(0x4000, 0x5000, BranchClass::UncondDirect));
+        b.update(&BranchEvent::taken(
+            0x4000,
+            0x5000,
+            BranchClass::UncondDirect,
+        ));
         b.clear();
         assert!(b.lookup(0x4000).is_none());
     }

@@ -43,6 +43,20 @@ impl OrgKind {
     /// figures plot them.
     pub const PAPER_EVAL: [OrgKind; 3] = [OrgKind::Conv, OrgKind::Pdede, OrgKind::BtbX];
 
+    /// Every organization, paper-evaluation ones first. The canonical list
+    /// for conformance suites and CLI parsing — extend it when adding a
+    /// variant so downstream coverage picks the new organization up.
+    pub const ALL: [OrgKind; 8] = [
+        OrgKind::Conv,
+        OrgKind::Pdede,
+        OrgKind::BtbX,
+        OrgKind::RBtb,
+        OrgKind::Hoogerbrugge,
+        OrgKind::Infinite,
+        OrgKind::BtbXUniform,
+        OrgKind::BtbXNoXc,
+    ];
+
     /// Short stable identifier used in file names and CSV columns.
     pub const fn id(self) -> &'static str {
         match self {
@@ -165,21 +179,35 @@ mod tests {
     #[test]
     fn built_instances_function() {
         let bits = BudgetPoint::Kb0_9.bits(Arch::Arm64);
-        for kind in [
-            OrgKind::Conv,
-            OrgKind::Pdede,
-            OrgKind::BtbX,
-            OrgKind::RBtb,
-            OrgKind::Hoogerbrugge,
-            OrgKind::Infinite,
-            OrgKind::BtbXUniform,
-            OrgKind::BtbXNoXc,
-        ] {
+        for kind in OrgKind::ALL {
             let mut btb = build(kind, bits, Arch::Arm64);
             let ev = BranchEvent::taken(0x1000, 0x1080, BranchClass::CondDirect);
             btb.update(&ev);
             assert!(btb.lookup(0x1000).is_some(), "{kind} lost a short branch");
         }
+    }
+
+    #[test]
+    fn all_enumerates_every_variant() {
+        // An exhaustive match: adding an OrgKind variant fails to compile
+        // here until OrgKind::ALL (checked below) is extended with it.
+        fn armed(kind: OrgKind) {
+            match kind {
+                OrgKind::Conv
+                | OrgKind::Pdede
+                | OrgKind::BtbX
+                | OrgKind::RBtb
+                | OrgKind::Hoogerbrugge
+                | OrgKind::Infinite
+                | OrgKind::BtbXUniform
+                | OrgKind::BtbXNoXc => {}
+            }
+        }
+        let mut ids: Vec<_> = OrgKind::ALL.iter().map(|o| o.id()).collect();
+        OrgKind::ALL.into_iter().for_each(armed);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), OrgKind::ALL.len(), "ALL must not repeat");
     }
 
     #[test]

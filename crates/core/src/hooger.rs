@@ -62,7 +62,10 @@ impl MixedBtb {
     ///
     /// Panics unless `entries` is a positive multiple of 8.
     pub fn with_entries(entries: usize, arch: Arch) -> Self {
-        assert!(entries > 0 && entries % WAYS == 0, "entries must be a multiple of 8");
+        assert!(
+            entries > 0 && entries.is_multiple_of(WAYS),
+            "entries must be a multiple of 8"
+        );
         let sets = entries / WAYS;
         MixedBtb {
             arch,
@@ -105,7 +108,12 @@ impl Btb for MixedBtb {
         let target = if e.btype == BtbBranchType::Return {
             TargetSource::ReturnStack
         } else if way < SHORT_WAYS {
-            TargetSource::Address(reconstruct_target(pc, e.payload, SHORT_OFFSET_BITS, self.arch))
+            TargetSource::Address(reconstruct_target(
+                pc,
+                e.payload,
+                SHORT_OFFSET_BITS,
+                self.arch,
+            ))
         } else {
             TargetSource::Address(e.payload)
         };
@@ -205,9 +213,8 @@ mod tests {
     #[test]
     fn set_cost_sits_between_conv_and_btbx() {
         // Conv: 512 bits/set; BTB-X: 224; mixed design in between.
-        assert!(SET_BITS < 512);
-        assert!(SET_BITS > 224);
         assert_eq!(SET_BITS, 4 * 30 + 4 * 64);
+        assert!((225..512).contains(&SET_BITS));
     }
 
     #[test]
@@ -260,7 +267,11 @@ mod tests {
         let mut b = MixedBtb::with_entries(64, Arch::Arm64);
         let pc = 0x2000u64;
         b.update(&BranchEvent::taken(pc, pc + 32, BranchClass::CallIndirect));
-        b.update(&BranchEvent::taken(pc, 0x7a00_0000, BranchClass::CallIndirect));
+        b.update(&BranchEvent::taken(
+            pc,
+            0x7a00_0000,
+            BranchClass::CallIndirect,
+        ));
         assert_eq!(
             b.lookup(pc).unwrap().target,
             TargetSource::Address(0x7a00_0000)

@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn no_aliasing_with_full_tags() {
         let mut b = InfiniteBtb::new();
-        b.update(&BranchEvent::taken(0x1000, 0x2000, BranchClass::UncondDirect));
+        b.update(&BranchEvent::taken(
+            0x1000,
+            0x2000,
+            BranchClass::UncondDirect,
+        ));
         // A PC that would alias under 12-bit partial tags cannot hit here.
         assert!(b.lookup(0x1000 + (1 << 20)).is_none());
     }

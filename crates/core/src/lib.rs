@@ -67,6 +67,7 @@ pub mod offset;
 pub mod pdede;
 pub mod rbtb;
 pub mod replacement;
+pub mod spec;
 pub mod stats;
 pub mod storage;
 pub mod tag;
@@ -80,6 +81,7 @@ pub use hooger::MixedBtb;
 pub use infinite::InfiniteBtb;
 pub use pdede::PdedeBtb;
 pub use rbtb::RBtb;
+pub use spec::{BtbSpec, Budget, SpecError};
 pub use stats::{AccessCounts, StorageReport};
 pub use types::{Arch, BranchClass, BranchEvent, BtbBranchType, TargetSource};
 pub use x::BtbX;

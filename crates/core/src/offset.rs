@@ -67,7 +67,11 @@ pub fn extract_offset(target: u64, n_stored: u32, arch: Arch) -> u64 {
 #[inline]
 pub fn reconstruct_target(pc: u64, stored: u64, n_stored: u32, arch: Arch) -> u64 {
     let shift = n_stored + arch.align_bits();
-    let high = if shift >= 64 { 0 } else { (pc >> shift) << shift };
+    let high = if shift >= 64 {
+        0
+    } else {
+        (pc >> shift) << shift
+    };
     high | (stored << arch.align_bits())
 }
 

@@ -175,7 +175,10 @@ impl PdedeBtb {
     ///
     /// Panics if `page_entries` is zero or not a power of two.
     pub fn with_sizing(sizing: PdedeSizing, arch: Arch) -> Self {
-        assert!(sizing.page_entries.is_power_of_two(), "page entries must be a power of two");
+        assert!(
+            sizing.page_entries.is_power_of_two(),
+            "page entries must be a power of two"
+        );
         let page_sets = (sizing.page_entries / PAGE_WAYS).max(1);
         let page_ways = sizing.page_entries.min(PAGE_WAYS);
         PdedeBtb {
@@ -185,11 +188,17 @@ impl PdedeBtb {
             main_lru: vec![LruSet::new(WAYS); sizing.main_sets],
             page_sets,
             pages: vec![
-                PageEntry { valid: false, page: 0 };
+                PageEntry {
+                    valid: false,
+                    page: 0
+                };
                 page_sets * page_ways
             ],
             page_lru: vec![LruSet::new(page_ways); page_sets],
-            regions: [RegionEntry { valid: false, region: 0 }; REGION_ENTRIES],
+            regions: [RegionEntry {
+                valid: false,
+                region: 0,
+            }; REGION_ENTRIES],
             region_lru: LruSet::new(REGION_ENTRIES),
             counts: AccessCounts::default(),
             page_ptr_bits: sizing.page_ptr_bits,
@@ -326,9 +335,8 @@ impl PdedeBtb {
             } => {
                 let page = self.pages[page_ptr as usize].page as u64;
                 let region = self.regions[region_ptr as usize].region as u64;
-                let target = (region << 28)
-                    | (page << 12)
-                    | ((offset as u64) << self.arch.align_bits());
+                let target =
+                    (region << 28) | (page << 12) | ((offset as u64) << self.arch.align_bits());
                 BtbHit {
                     btype,
                     target: TargetSource::Address(target),
@@ -595,10 +603,7 @@ mod tests {
         let pc = 0x0000_0001_0000u64;
         let target = 0x0000_7f00_0040u64;
         b.update(&BranchEvent::taken(pc, target, BranchClass::CallDirect));
-        assert_eq!(
-            b.lookup(pc).unwrap().target,
-            TargetSource::Address(target)
-        );
+        assert_eq!(b.lookup(pc).unwrap().target, TargetSource::Address(target));
     }
 
     #[test]
@@ -615,8 +620,16 @@ mod tests {
     #[test]
     fn region_numbers_are_deduplicated() {
         let mut b = btb();
-        b.update(&BranchEvent::taken(0x1000, 0x7f09_0040, BranchClass::CallDirect));
-        b.update(&BranchEvent::taken(0x2000, 0x7f11_0040, BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            0x1000,
+            0x7f09_0040,
+            BranchClass::CallDirect,
+        ));
+        b.update(&BranchEvent::taken(
+            0x2000,
+            0x7f11_0040,
+            BranchClass::CallDirect,
+        ));
         assert_eq!(b.counts().region_writes, 1, "same region stored once");
     }
 
@@ -630,7 +643,11 @@ mod tests {
         };
         let mut b = PdedeBtb::with_sizing(s, Arch::Arm64);
         let pc = 0x1000u64;
-        b.update(&BranchEvent::taken(pc, 0x7f00_0040, BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            pc,
+            0x7f00_0040,
+            BranchClass::CallDirect,
+        ));
         assert!(b.lookup(pc).is_some());
         // Thrash the Page-BTB with 16 more distinct pages.
         for i in 0..16u64 {
@@ -658,7 +675,11 @@ mod tests {
     fn region_eviction_invalidates_dependents() {
         let mut b = btb();
         let pc = 0x1000u64;
-        b.update(&BranchEvent::taken(pc, 0x0f00_0040, BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            pc,
+            0x0f00_0040,
+            BranchClass::CallDirect,
+        ));
         // 4 more regions evict the first (Region-BTB holds 4).
         for i in 0..4u64 {
             b.update(&BranchEvent::taken(
@@ -716,7 +737,11 @@ mod tests {
     #[test]
     fn returns_are_same_page_entries() {
         let mut b = btb();
-        b.update(&BranchEvent::taken(0x1000, 0x7fff_0000, BranchClass::Return));
+        b.update(&BranchEvent::taken(
+            0x1000,
+            0x7fff_0000,
+            BranchClass::Return,
+        ));
         let hit = b.lookup(0x1000).expect("hit");
         assert_eq!(hit.target, TargetSource::ReturnStack);
         assert_eq!(hit.site, HitSite::Main, "returns never pay indirection");
@@ -726,7 +751,11 @@ mod tests {
     fn page_reads_counted_only_when_consumed() {
         let mut b = btb();
         let pc = 0x1000u64;
-        b.update(&BranchEvent::taken(pc, 0x7f00_0040, BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            pc,
+            0x7f00_0040,
+            BranchClass::CallDirect,
+        ));
         let hit = b.lookup(pc).unwrap();
         assert_eq!(b.counts().page_reads, 0);
         b.note_target_consumed(&hit);

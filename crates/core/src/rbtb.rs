@@ -67,7 +67,10 @@ impl RBtb {
     ///
     /// Panics if `entries` is not a positive multiple of 8.
     pub fn with_entries(entries: usize, arch: Arch) -> Self {
-        assert!(entries > 0 && entries % WAYS == 0, "entries must be a multiple of 8");
+        assert!(
+            entries > 0 && entries.is_multiple_of(WAYS),
+            "entries must be a multiple of 8"
+        );
         let sets = entries / WAYS;
         let page_entries = (entries / RBTB_PAGE_DIVISOR).clamp(4, 64);
         RBtb {
@@ -302,15 +305,27 @@ mod tests {
     #[test]
     fn page_dedup() {
         let mut b = RBtb::with_entries(256, Arch::Arm64);
-        b.update(&BranchEvent::taken(0x1000, 0x5000_0040, BranchClass::CallDirect));
-        b.update(&BranchEvent::taken(0x2000, 0x5000_0080, BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            0x1000,
+            0x5000_0040,
+            BranchClass::CallDirect,
+        ));
+        b.update(&BranchEvent::taken(
+            0x2000,
+            0x5000_0080,
+            BranchClass::CallDirect,
+        ));
         assert_eq!(b.counts().page_writes, 1);
     }
 
     #[test]
     fn page_eviction_never_leaves_stale_pointers() {
         let mut b = RBtb::with_entries(64, Arch::Arm64); // 4 page entries
-        b.update(&BranchEvent::taken(0x1000, 0x5000_0040, BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            0x1000,
+            0x5000_0040,
+            BranchClass::CallDirect,
+        ));
         for i in 0..8u64 {
             b.update(&BranchEvent::taken(
                 0x2000 + 4 * i,

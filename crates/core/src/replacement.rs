@@ -79,7 +79,8 @@ impl LruSet {
                 _ => best = Some((way, age)),
             }
         }
-        best.expect("eligibility mask must select at least one way").0
+        best.expect("eligibility mask must select at least one way")
+            .0
     }
 }
 

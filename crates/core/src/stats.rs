@@ -103,7 +103,11 @@ impl std::fmt::Display for StorageReport {
             self.branch_capacity
         )?;
         for (part, bits) in &self.partitions {
-            write!(f, "\n  {part}: {bits} bits ({:.3} KB)", *bits as f64 / 8192.0)?;
+            write!(
+                f,
+                "\n  {part}: {bits} bits ({:.3} KB)",
+                *bits as f64 / 8192.0
+            )?;
         }
         Ok(())
     }

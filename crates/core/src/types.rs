@@ -12,10 +12,11 @@ use serde::{Deserialize, Serialize};
 /// alignment: Arm64 instructions are 4-byte aligned, so the two low target
 /// bits are always zero and need not be stored; x86 instructions are
 /// byte-aligned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Arch {
     /// Fixed 4-byte instructions; offsets are stored without the two
     /// always-zero low bits (Section III).
+    #[default]
     Arm64,
     /// Variable-length, byte-aligned instructions; offsets are stored in
     /// full (Section VI-G).
@@ -47,12 +48,6 @@ impl Arch {
             Arch::Arm64 => "arm64",
             Arch::X86 => "x86",
         }
-    }
-}
-
-impl Default for Arch {
-    fn default() -> Self {
-        Arch::Arm64
     }
 }
 
@@ -90,9 +85,7 @@ impl BranchClass {
     pub const fn btb_type(self) -> BtbBranchType {
         match self {
             BranchClass::CondDirect => BtbBranchType::Conditional,
-            BranchClass::UncondDirect | BranchClass::UncondIndirect => {
-                BtbBranchType::Unconditional
-            }
+            BranchClass::UncondDirect | BranchClass::UncondIndirect => BtbBranchType::Unconditional,
             BranchClass::CallDirect | BranchClass::CallIndirect => BtbBranchType::Call,
             BranchClass::Return => BtbBranchType::Return,
         }

@@ -152,7 +152,10 @@ impl BtbX {
     /// Panics if `entries` is not a positive multiple of 8 or the way
     /// widths are not non-decreasing.
     pub fn with_config(entries: usize, arch: Arch, config: BtbXConfig) -> Self {
-        assert!(entries > 0 && entries % WAYS == 0, "entries must be a multiple of 8");
+        assert!(
+            entries > 0 && entries.is_multiple_of(WAYS),
+            "entries must be a multiple of 8"
+        );
         assert!(
             config.way_widths.windows(2).all(|w| w[0] <= w[1]),
             "way widths must be non-decreasing"
@@ -297,8 +300,7 @@ impl BtbX {
         // Choose a way: invalid eligible way first, then modified LRU.
         let eligible = eligibility_mask(WAYS, |w| self.config.way_widths[w] >= needed);
         debug_assert!(eligible != 0, "widest way must always be eligible");
-        let invalid = (0..WAYS)
-            .find(|&w| eligible & (1 << w) != 0 && !self.ways[base + w].valid);
+        let invalid = (0..WAYS).find(|&w| eligible & (1 << w) != 0 && !self.ways[base + w].valid);
         let way = match invalid {
             Some(w) => w,
             None if self.config.modified_lru => self.lru[set].victim_among(eligible),
@@ -457,7 +459,11 @@ mod tests {
     #[test]
     fn returns_fit_in_way_zero() {
         let mut b = btb();
-        b.update(&BranchEvent::taken(0x4000, 0x1234_5678, BranchClass::Return));
+        b.update(&BranchEvent::taken(
+            0x4000,
+            0x1234_5678,
+            BranchClass::Return,
+        ));
         let hit = b.lookup(0x4000).expect("hit");
         assert_eq!(hit.target, TargetSource::ReturnStack);
     }
@@ -497,7 +503,11 @@ mod tests {
         // Make the wide branch MRU, then insert one more short branch.
         assert!(b.lookup(wide_pc).is_some());
         let newcomer = base + 8 * 4;
-        b.update(&BranchEvent::taken(newcomer, newcomer + 8, BranchClass::CondDirect));
+        b.update(&BranchEvent::taken(
+            newcomer,
+            newcomer + 8,
+            BranchClass::CondDirect,
+        ));
         assert!(b.lookup(newcomer).is_some());
         assert!(
             b.lookup(wide_pc).is_some(),
@@ -507,7 +517,10 @@ mod tests {
             b.lookup(first_short).is_none(),
             "the LRU eligible way holds the victim"
         );
-        assert!(b.lookup(base).is_some(), "way-0 return is not eligible for eviction");
+        assert!(
+            b.lookup(base).is_some(),
+            "way-0 return is not eligible for eviction"
+        );
     }
 
     #[test]
@@ -517,8 +530,16 @@ mod tests {
         let mut b = BtbX::with_entries(8, Arch::Arm64);
         let a = 0x10_0000u64;
         let c = a + 4;
-        b.update(&BranchEvent::taken(a, a + (1 << 22), BranchClass::CallDirect));
-        b.update(&BranchEvent::taken(c, c + (1 << 22), BranchClass::CallDirect));
+        b.update(&BranchEvent::taken(
+            a,
+            a + (1 << 22),
+            BranchClass::CallDirect,
+        ));
+        b.update(&BranchEvent::taken(
+            c,
+            c + (1 << 22),
+            BranchClass::CallDirect,
+        ));
         assert!(b.lookup(c).is_some());
         assert!(b.lookup(a).is_none(), "only way 7 can hold either branch");
     }
@@ -529,10 +550,7 @@ mod tests {
         let pc = 0x0000_7f00_1000u64;
         // First target nearby (narrow way), then far away (wide way).
         b.update(&BranchEvent::taken(pc, pc + 16, BranchClass::CallIndirect));
-        assert_eq!(
-            b.lookup(pc).unwrap().target,
-            TargetSource::Address(pc + 16)
-        );
+        assert_eq!(b.lookup(pc).unwrap().target, TargetSource::Address(pc + 16));
         let far = pc + (1 << 20);
         b.update(&BranchEvent::taken(pc, far, BranchClass::CallIndirect));
         assert_eq!(b.lookup(pc).unwrap().target, TargetSource::Address(far));

@@ -107,8 +107,7 @@ impl BtbEnergyModel {
             main_write: anchor::MAIN_WRITE / model.write_energy_pj(main),
             page_read: anchor::PAGE_READ / model.read_energy_pj(page),
             page_write: anchor::PAGE_WRITE / model.write_energy_pj(page),
-            page_search: anchor::PAGE_SEARCH
-                / model.search_energy_pj(page, 16 * PAGE_ENTRY_BITS),
+            page_search: anchor::PAGE_SEARCH / model.search_energy_pj(page, 16 * PAGE_ENTRY_BITS),
         };
         BtbEnergyModel {
             model,
@@ -208,7 +207,11 @@ impl BtbEnergyModel {
         match org {
             OrgKind::Conv => {
                 let a = self.conv_array();
-                push("read", self.corr.conv_read * self.model.read_energy_pj(a), reads);
+                push(
+                    "read",
+                    self.corr.conv_read * self.model.read_energy_pj(a),
+                    reads,
+                );
                 push(
                     "write",
                     self.corr.conv_write * self.model.write_energy_pj(a),
@@ -217,7 +220,11 @@ impl BtbEnergyModel {
             }
             OrgKind::BtbX | OrgKind::BtbXUniform | OrgKind::BtbXNoXc => {
                 let a = self.btbx_array();
-                push("read", self.corr.btbx_read * self.model.read_energy_pj(a), reads);
+                push(
+                    "read",
+                    self.corr.btbx_read * self.model.read_energy_pj(a),
+                    reads,
+                );
                 push(
                     "write",
                     self.corr.btbx_write * self.model.write_energy_pj(a),
@@ -260,10 +267,7 @@ impl BtbEnergyModel {
                 );
                 push(
                     "page-btb search",
-                    self.corr.page_search
-                        * self
-                            .model
-                            .search_energy_pj(page, 16 * PAGE_ENTRY_BITS),
+                    self.corr.page_search * self.model.search_energy_pj(page, 16 * PAGE_ENTRY_BITS),
                     counts.page_searches,
                 );
                 push(

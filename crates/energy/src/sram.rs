@@ -78,8 +78,7 @@ impl SramModel {
 
     /// Dynamic read energy in pJ.
     pub fn read_energy_pj(&self, array: SramArray) -> f64 {
-        (array.total_bits as f64).sqrt()
-            * (self.a_read + self.b_read * array.read_bits as f64)
+        (array.total_bits as f64).sqrt() * (self.a_read + self.b_read * array.read_bits as f64)
     }
 
     /// Dynamic write energy in pJ.
@@ -91,8 +90,7 @@ impl SramModel {
                     ..array
                 });
         }
-        (array.total_bits as f64).sqrt()
-            * (self.a_write + self.b_write * array.write_bits as f64)
+        (array.total_bits as f64).sqrt() * (self.a_write + self.b_write * array.write_bits as f64)
     }
 
     /// Associative-search energy in pJ; `cam_bits` is the total number of
@@ -104,9 +102,7 @@ impl SramModel {
 
     /// Access latency in nanoseconds.
     pub fn access_ns(&self, array: SramArray) -> f64 {
-        self.t0
-            + self.t1 * (array.total_bits as f64).sqrt()
-            + self.t2 * array.read_bits as f64
+        self.t0 + self.t1 * (array.total_bits as f64).sqrt() + self.t2 * array.read_bits as f64
     }
 }
 
@@ -159,7 +155,11 @@ mod tests {
     #[test]
     fn write_energies_match_table_v() {
         assert!(within(M.write_energy_pj(conv()), 25.2, 0.08));
-        assert!(within(M.write_energy_pj(btbx()), 11.4, 0.22), "btbx write {}", M.write_energy_pj(btbx()));
+        assert!(
+            within(M.write_energy_pj(btbx()), 11.4, 0.22),
+            "btbx write {}",
+            M.write_energy_pj(btbx())
+        );
         assert!(within(M.write_energy_pj(pdede_main()), 12.5, 0.08));
         assert!(within(M.write_energy_pj(page_btb()), 0.8, 0.08));
     }

@@ -108,11 +108,7 @@ fn class_from_code(code: u8) -> Option<BranchClass> {
 }
 
 /// Encode a trace into the native format.
-pub fn encode(
-    name: &str,
-    arch: Arch,
-    instrs: impl IntoIterator<Item = TraceInstr>,
-) -> Bytes {
+pub fn encode(name: &str, arch: Arch, instrs: impl IntoIterator<Item = TraceInstr>) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
@@ -343,7 +339,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(Decoder::new(&b"NOPE0000"[..]).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            Decoder::new(&b"NOPE0000"[..]).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
     use super::*;
 
     fn seq(n: u64) -> VecSource {
-        VecSource::new(
-            "seq",
-            (0..n).map(|i| TraceInstr::other(i * 4, 4)).collect(),
-        )
+        VecSource::new("seq", (0..n).map(|i| TraceInstr::other(i * 4, 4)).collect())
     }
 
     #[test]

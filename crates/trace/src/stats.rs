@@ -85,7 +85,10 @@ impl TraceStats {
                 if ev.taken {
                     self.taken += 1;
                 }
-                let ci = BranchClass::ALL.iter().position(|&c| c == ev.class).unwrap();
+                let ci = BranchClass::ALL
+                    .iter()
+                    .position(|&c| c == ev.class)
+                    .unwrap();
                 self.per_class[ci] += 1;
                 // Returns read the RAS: 0 offset bits (Section III).
                 let bits = if ev.class == BranchClass::Return {
@@ -208,10 +211,7 @@ mod tests {
                 BranchEvent::taken(0x140, 0x200, BranchClass::Return),
             ),
         ]);
-        let total: f64 = BranchClass::ALL
-            .iter()
-            .map(|&c| s.class_fraction(c))
-            .sum();
+        let total: f64 = BranchClass::ALL.iter().map(|&c| s.class_fraction(c)).sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

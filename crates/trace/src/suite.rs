@@ -92,8 +92,8 @@ pub fn ipc1_client() -> Vec<WorkloadSpec> {
 
 /// IPC-1 server trace numbers: 001–004 and 009–039 (035 total).
 pub const IPC1_SERVER_IDS: [u32; 35] = [
-    1, 2, 3, 4, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28,
-    29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39,
+    1, 2, 3, 4, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29,
+    30, 31, 32, 33, 34, 35, 36, 37, 38, 39,
 ];
 
 /// Footprint class for one server trace id, shaping Figure 9's profile:

@@ -389,9 +389,7 @@ mod tests {
     #[ignore = "manual calibration probe"]
     fn calibration_probe() {
         use crate::stats::TraceStats;
-        for (label, funcs, client) in
-            [("server", 800usize, false), ("client", 120, true)]
-        {
+        for (label, funcs, client) in [("server", 800usize, false), ("client", 120, true)] {
             let params = if client {
                 SynthParams::client(funcs)
             } else {
@@ -449,20 +447,21 @@ mod tests {
                         BranchClass::UncondIndirect => "ijump",
                         BranchClass::Return => continue,
                     };
-                    let bits =
-                        stored_offset_len(ev.pc, ev.target, params.arch).min(48) as usize;
+                    let bits = stored_offset_len(ev.pc, ev.target, params.arch).min(48) as usize;
                     let e = hist.entry(k).or_insert_with(|| (0, vec![0u64; 49]));
                     e.0 += 1;
                     e.1[bits] += 1;
                 }
             }
             for (k, (n, h)) in &hist {
-                let cdf = |b: usize| {
-                    h[..=b].iter().sum::<u64>() as f64 / *n as f64
-                };
+                let cdf = |b: usize| h[..=b].iter().sum::<u64>() as f64 / *n as f64;
                 println!(
                     "  {k}: n={n} cdf4={:.2} cdf7={:.2} cdf11={:.2} cdf19={:.2} cdf25={:.2}",
-                    cdf(4), cdf(7), cdf(11), cdf(19), cdf(25)
+                    cdf(4),
+                    cdf(7),
+                    cdf(11),
+                    cdf(19),
+                    cdf(25)
                 );
             }
         }

@@ -218,18 +218,13 @@ impl ProgramImage {
     pub fn static_branches(&self) -> usize {
         self.instrs
             .iter()
-            .filter(|i| {
-                !matches!(i.kind, SKind::Alu | SKind::Load | SKind::Store)
-            })
+            .filter(|i| !matches!(i.kind, SKind::Alu | SKind::Load | SKind::Store))
             .count()
     }
 
     /// Function index containing the given global instruction index.
     pub fn func_of(&self, idx: u32) -> u32 {
-        match self
-            .funcs
-            .binary_search_by(|f| f.entry.cmp(&idx))
-        {
+        match self.funcs.binary_search_by(|f| f.entry.cmp(&idx)) {
             Ok(i) => i as u32,
             Err(i) => (i - 1) as u32,
         }
@@ -261,10 +256,10 @@ struct Skeleton {
 /// Region base addresses (< 2^48). Region numbers (bits 47..28) differ, so
 /// cross-region branches exceed 25 stored bits and exercise BTB-XC.
 const REGION_BASES: [u64; 4] = [
-    0x0000_4000_0000,        // application image
-    0x7f00_0000_0000,        // shared library region A
-    0x7f80_0000_0000,        // shared library region B
-    0x5500_0000_0000,        // JIT-like region
+    0x0000_4000_0000, // application image
+    0x7f00_0000_0000, // shared library region A
+    0x7f80_0000_0000, // shared library region B
+    0x5500_0000_0000, // JIT-like region
 ];
 
 impl Builder {
@@ -365,8 +360,7 @@ impl Builder {
             *cursor += bytes + self.sample_gap();
         }
 
-        let mut by_base: Vec<(u64, u32)> =
-            (0..n as u32).map(|f| (bases[f as usize], f)).collect();
+        let mut by_base: Vec<(u64, u32)> = (0..n as u32).map(|f| (bases[f as usize], f)).collect();
         by_base.sort_unstable();
 
         Skeleton {
@@ -405,9 +399,7 @@ impl Builder {
         } else {
             from_pc.saturating_sub(distance)
         };
-        let start = sk
-            .by_base
-            .partition_point(|&(base, _)| base < desired);
+        let start = sk.by_base.partition_point(|&(base, _)| base < desired);
         // Scan outward from the insertion point for the nearest deeper-
         // layer function; remember an out-of-range fallback separately.
         let mut best: Option<(u64, u32)> = None;
@@ -420,10 +412,10 @@ impl Builder {
                 if sk.layers[f as usize] > layer && sk.layers[f as usize] != u8::MAX {
                     let err = base.abs_diff(desired);
                     if base.abs_diff(from_pc) <= max_dist {
-                        if best.map_or(true, |(e, _)| err < e) {
+                        if best.is_none_or(|(e, _)| err < e) {
                             best = Some((err, f));
                         }
-                    } else if fallback.map_or(true, |(e, _)| err < e) {
+                    } else if fallback.is_none_or(|(e, _)| err < e) {
                         fallback = Some((err, f));
                     }
                 }
@@ -450,7 +442,7 @@ impl Builder {
                         && base.abs_diff(from_pc) <= max_dist
                     {
                         let err = base.abs_diff(from_pc);
-                        if best.map_or(true, |(e, _)| err < e) {
+                        if best.is_none_or(|(e, _)| err < e) {
                             best = Some((err, f));
                         }
                     }
@@ -490,6 +482,7 @@ impl Builder {
         let mut tables: Vec<Vec<u32>> = Vec::new();
         let mut loop_slots = 0u32;
 
+        #[allow(clippy::needless_range_loop)]
         for f in 0..n {
             let entry = instrs.len() as u32;
             let len = sk.sizes[f].len();
@@ -500,7 +493,17 @@ impl Builder {
                 let kind = if i == len - 1 {
                     SKind::Return
                 } else if self.rng.gen_bool(self.p.branch_density) && i + 2 < len {
-                    self.branch_kind(&sk, f, i, entry, len, pc, layer, &mut tables, &mut loop_slots)
+                    self.branch_kind(
+                        &sk,
+                        f,
+                        i,
+                        entry,
+                        len,
+                        pc,
+                        layer,
+                        &mut tables,
+                        &mut loop_slots,
+                    )
                 } else {
                     let u: f64 = self.rng.gen();
                     if u < self.p.load_fraction {
@@ -624,7 +627,12 @@ impl Builder {
         } else if u < mix.cond + mix.jump + mix.call {
             // Clamp to the region span so only deliberately sampled tails
             // cross regions (the paper's >25-bit branches are ~1 %).
-            let dist = self.p.offsets.call.sample_distance(&mut self.rng).min(1 << 27);
+            let dist = self
+                .p
+                .offsets
+                .call
+                .sample_distance(&mut self.rng)
+                .min(1 << 27);
             match self.find_callee(sk, pc, dist, layer) {
                 Some(callee) => SKind::Call { callee },
                 // Leaf layer: degrade to a conditional (leaf code is
@@ -882,8 +890,7 @@ mod tests {
         let mut p = SynthParams::server(60);
         p.arch = Arch::X86;
         let img = ProgramImage::generate(&p, 11);
-        let distinct: std::collections::HashSet<u8> =
-            img.instrs.iter().map(|i| i.size).collect();
+        let distinct: std::collections::HashSet<u8> = img.instrs.iter().map(|i| i.size).collect();
         assert!(distinct.len() > 4, "x86 sizes should vary");
     }
 
@@ -896,6 +903,9 @@ mod tests {
             .map(|f| btbx_core::offset::region_number(f.base))
             .collect();
         assert!(regions.len() >= 2, "expected multi-region layout");
-        assert!(regions.len() <= 4, "PDede's 4-entry Region-BTB should suffice");
+        assert!(
+            regions.len() <= 4,
+            "PDede's 4-entry Region-BTB should suffice"
+        );
     }
 }

@@ -298,10 +298,7 @@ impl Zipf {
     /// Sample an item index in `0..n`.
     pub fn sample(&self, rng: &mut SmallRng) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }

@@ -222,7 +222,11 @@ impl Bpu {
                     BtbBranchType::Conditional => dir_pred.map_or(ev.taken, |p| p.taken),
                     _ => true,
                 };
-                let extra = if predicted_taken { h.extra_latency() } else { 0 };
+                let extra = if predicted_taken {
+                    h.extra_latency()
+                } else {
+                    0
+                };
                 if predicted_taken {
                     self.btb.note_target_consumed(&h);
                 }
@@ -310,11 +314,7 @@ mod tests {
 
     fn bpu() -> Bpu {
         let bits = BudgetPoint::Kb14_5.bits(Arch::Arm64);
-        Bpu::new(
-            factory::build(OrgKind::BtbX, bits, Arch::Arm64),
-            64,
-            true,
-        )
+        Bpu::new(factory::build(OrgKind::BtbX, bits, Arch::Arm64), 64, true)
     }
 
     fn taken(pc: u64, target: u64, class: BranchClass) -> BranchEvent {
@@ -357,11 +357,7 @@ mod tests {
     #[test]
     fn decode_resteer_disabled_falls_back_to_execute() {
         let bits = BudgetPoint::Kb14_5.bits(Arch::Arm64);
-        let mut b = Bpu::new(
-            factory::build(OrgKind::BtbX, bits, Arch::Arm64),
-            64,
-            false,
-        );
+        let mut b = Bpu::new(factory::build(OrgKind::BtbX, bits, Arch::Arm64), 64, false);
         let ev = taken(0x1000, 0x2000, BranchClass::UncondDirect);
         let v = b.predict(0x1000, 4, Some(&ev));
         assert_eq!(v.resolution, Resolution::ExecuteResteer);
@@ -411,7 +407,11 @@ mod tests {
         let ev = BranchEvent::not_taken(0x3000, 0x4000);
         let v = b.predict(0x3000, 4, Some(&ev));
         assert_eq!(v.resolution, Resolution::Correct);
-        assert_eq!(b.stats().btb_miss_taken, 0, "paper counts taken misses only");
+        assert_eq!(
+            b.stats().btb_miss_taken,
+            0,
+            "paper counts taken misses only"
+        );
     }
 
     #[test]
@@ -423,12 +423,12 @@ mod tests {
             b.predict(0x5000, 4, Some(&t));
             b.commit(&t);
         }
-        assert_eq!(b.predict(0x5000, 4, Some(&t)).resolution, Resolution::Correct);
+        assert_eq!(
+            b.predict(0x5000, 4, Some(&t)).resolution,
+            Resolution::Correct
+        );
         // Now the branch falls through once: direction mispredict.
-        let nt = BranchEvent {
-            taken: false,
-            ..t
-        };
+        let nt = BranchEvent { taken: false, ..t };
         let v = b.predict(0x5000, 4, Some(&nt));
         assert_eq!(v.resolution, Resolution::ExecuteResteer);
         assert_eq!(v.kind, Some(MispredictKind::Direction));
@@ -461,11 +461,7 @@ mod tests {
     #[test]
     fn pdede_different_page_hits_cost_an_extra_bpu_cycle() {
         let bits = BudgetPoint::Kb14_5.bits(Arch::Arm64);
-        let mut b = Bpu::new(
-            factory::build(OrgKind::Pdede, bits, Arch::Arm64),
-            64,
-            true,
-        );
+        let mut b = Bpu::new(factory::build(OrgKind::Pdede, bits, Arch::Arm64), 64, true);
         // Same-page branch: single-cycle lookup.
         let near = taken(0x1000, 0x1400, BranchClass::UncondDirect);
         b.predict(near.pc, 4, Some(&near));
@@ -484,11 +480,7 @@ mod tests {
 
     #[test]
     fn infinite_btb_only_misses_cold() {
-        let mut b = Bpu::new(
-            factory::build(OrgKind::Infinite, 0, Arch::Arm64),
-            64,
-            true,
-        );
+        let mut b = Bpu::new(factory::build(OrgKind::Infinite, 0, Arch::Arm64), 64, true);
         for i in 0..2000u64 {
             let ev = taken(0x10_0000 + i * 8, 0x20_0000, BranchClass::UncondDirect);
             b.predict(ev.pc, 4, Some(&ev));

@@ -209,7 +209,11 @@ impl Cache {
     /// block (victim chosen by LRU). `prefetched` marks prefetch fills
     /// for usefulness accounting.
     pub fn record_fill(&mut self, block: u64, fill_at: u64, prefetched: bool) {
-        debug_assert!(self.mshrs.len() < self.mshr_capacity, "{}: MSHR overflow", self.name);
+        debug_assert!(
+            self.mshrs.len() < self.mshr_capacity,
+            "{}: MSHR overflow",
+            self.name
+        );
         self.mshrs.push(Mshr { block, fill_at });
         let set = self.set_of(block);
         let base = set * self.ways;

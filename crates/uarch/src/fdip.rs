@@ -77,8 +77,7 @@ impl Fdip {
             // Instructions spanning a block boundary prefetch the tail
             // block too (relevant for x86).
             let last_byte = entry.instr.pc + entry.instr.size.max(1) as u64 - 1;
-            if last_byte / 64 != entry.instr.pc / 64 && hierarchy.prefetch_instr(last_byte, now)
-            {
+            if last_byte / 64 != entry.instr.pc / 64 && hierarchy.prefetch_instr(last_byte, now) {
                 self.stats.issued += 1;
             }
             self.cursor += 1;

@@ -86,8 +86,7 @@ impl Hierarchy {
                 let fill = match self.llc.probe(block, start + l2_lat) {
                     Probe::Hit(t) | Probe::Pending(t) => t,
                     Probe::Miss(llc_start) => {
-                        let f =
-                            llc_start + self.llc.latency as u64 + self.memory_latency as u64;
+                        let f = llc_start + self.llc.latency as u64 + self.memory_latency as u64;
                         self.llc.record_fill(block, f, false);
                         f
                     }

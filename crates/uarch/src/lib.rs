@@ -46,9 +46,11 @@ pub mod ftq;
 pub mod hierarchy;
 pub mod perceptron;
 pub mod ras;
+pub mod session;
 pub mod sim;
 pub mod stats;
 
 pub use config::SimConfig;
+pub use session::{IntervalStats, SessionError, SimSession};
 pub use sim::{simulate, Simulator};
 pub use stats::{SimResult, SimStats};

@@ -77,6 +77,7 @@ impl HashedPerceptron {
     pub fn predict(&self, pc: u64) -> DirPrediction {
         let mut indices = [0u16; TABLES];
         let mut sum = 0i32;
+        #[allow(clippy::needless_range_loop)]
         for t in 0..TABLES {
             let i = self.index(t, pc);
             indices[t] = i;

@@ -17,6 +17,7 @@ use crate::config::SimConfig;
 use crate::fdip::Fdip;
 use crate::ftq::Ftq;
 use crate::hierarchy::{Hierarchy, Port};
+use crate::session::IntervalStats;
 use crate::stats::{SimResult, SimStats};
 use btbx_core::types::BranchEvent;
 use btbx_trace::record::{MemAccess, Op};
@@ -78,7 +79,9 @@ impl<S: TraceSource> Simulator<S> {
     ) -> Self {
         let hierarchy = Hierarchy::new(&config);
         let ftq = Ftq::new(config.ftq_entries);
-        let fdip = config.fdip.then(|| Fdip::new(config.fetch_width as usize * 2));
+        let fdip = config
+            .fdip
+            .then(|| Fdip::new(config.fetch_width as usize * 2));
         Simulator {
             config,
             trace,
@@ -107,15 +110,57 @@ impl<S: TraceSource> Simulator<S> {
     /// Warm structures over `warmup` committed instructions, then measure
     /// the next `measure` instructions and return the results
     /// (Section VI-A methodology).
-    pub fn run(mut self, warmup: u64, measure: u64) -> SimResult {
+    pub fn run(self, warmup: u64, measure: u64) -> SimResult {
+        self.run_observed(warmup, measure, None, &mut |_| {})
+    }
+
+    /// [`run`](Self::run), streaming an [`IntervalStats`] snapshot to
+    /// `observer` after every `interval` committed instructions of the
+    /// measurement window (plus a trailing partial interval when the run
+    /// ends between boundaries). Used by [`crate::session::SimSession`];
+    /// pass `interval: None` to disable streaming.
+    pub fn run_observed(
+        mut self,
+        warmup: u64,
+        measure: u64,
+        interval: Option<u64>,
+        observer: &mut dyn FnMut(&IntervalStats),
+    ) -> SimResult {
         // Warm-up phase.
         while self.committed < warmup && !self.finished() {
             self.tick();
         }
         self.begin_measurement();
         let target = measure;
+        let step = interval.unwrap_or(u64::MAX);
+        let mut next_boundary = step;
+        let mut index = 0u64;
+        let (mut emitted_instr, mut emitted_cycles) = (0u64, 0u64);
+        let mut emit = |sim: &Self, index: u64, emitted_instr: u64, emitted_cycles: u64| {
+            let instructions = sim.committed - sim.measure_start_committed;
+            let cycles = sim.cycle - sim.measure_start_cycle;
+            let iv = IntervalStats {
+                index,
+                instructions,
+                cycles,
+                delta_instructions: instructions - emitted_instr,
+                delta_cycles: cycles - emitted_cycles,
+                bpu: sim.bpu.stats(),
+            };
+            observer(&iv);
+            (instructions, cycles)
+        };
         while self.committed - self.measure_start_committed < target && !self.finished() {
             self.tick();
+            if self.committed - self.measure_start_committed >= next_boundary {
+                (emitted_instr, emitted_cycles) = emit(&self, index, emitted_instr, emitted_cycles);
+                index += 1;
+                next_boundary = next_boundary.saturating_add(step);
+            }
+        }
+        // Trailing partial interval.
+        if interval.is_some() && self.committed - self.measure_start_committed > emitted_instr {
+            emit(&self, index, emitted_instr, emitted_cycles);
         }
         self.finish()
     }
@@ -326,9 +371,7 @@ impl<S: TraceSource> Simulator<S> {
                 self.trace_done = true;
                 break;
             };
-            let verdict = self
-                .bpu
-                .predict(instr.pc, instr.size, instr.branch_event());
+            let verdict = self.bpu.predict(instr.pc, instr.size, instr.branch_event());
             if verdict.extra_bpu_cycles > 0 {
                 // PDede's second-cycle Page-/Region-BTB access occupies
                 // the predictor.
@@ -363,8 +406,9 @@ impl<S: TraceSource> std::fmt::Debug for Simulator<S> {
     }
 }
 
-/// Convenience: build and run a simulation of `spec`-like synthetic
-/// workloads with an arbitrary trace source.
+/// Positional convenience over [`crate::session::SimSession`]: run
+/// `trace` against an already-built BTB. Prefer the session builder for
+/// new code — it validates specs and exposes interval streaming.
 pub fn simulate<S: TraceSource>(
     config: SimConfig,
     trace: S,
@@ -373,9 +417,14 @@ pub fn simulate<S: TraceSource>(
     warmup: u64,
     measure: u64,
 ) -> SimResult {
-    let budget = btb.storage().total_bits;
-    let bpu = Bpu::new(btb, config.ras_entries, config.decode_resteer);
-    Simulator::new(config, trace, bpu, org_id, budget).run(warmup, measure)
+    crate::session::SimSession::new(trace)
+        .btb(btb)
+        .config(config)
+        .label(org_id)
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .expect("an instance-backed session always runs")
 }
 
 #[cfg(test)]
@@ -395,7 +444,9 @@ mod tests {
     fn straight_line(n: u64) -> VecSource {
         VecSource::new(
             "line",
-            (0..n).map(|i| TraceInstr::other(0x1000 + i * 4, 4)).collect(),
+            (0..n)
+                .map(|i| TraceInstr::other(0x1000 + i * 4, 4))
+                .collect(),
         )
     }
 

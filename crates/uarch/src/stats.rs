@@ -73,8 +73,7 @@ impl SimStats {
         if self.instructions == 0 {
             0.0
         } else {
-            (self.l1i.misses + self.l1i.mshr_merges) as f64 * 1000.0
-                / self.instructions as f64
+            (self.l1i.misses + self.l1i.mshr_merges) as f64 * 1000.0 / self.instructions as f64
         }
     }
 

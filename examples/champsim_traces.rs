@@ -9,19 +9,23 @@
 //! cargo run --release --example champsim_traces
 //! ```
 
-use btbx::core::storage::BudgetPoint;
-use btbx::core::{factory, Arch, OrgKind};
+use btbx::core::spec::BtbSpec;
+use btbx::core::{Arch, OrgKind};
 use btbx::trace::champsim::{write_champsim, ChampSimReader};
-use btbx::trace::{codec, TraceSource};
 use btbx::trace::suite;
-use btbx::uarch::{simulate, SimConfig};
+use btbx::trace::{codec, TraceSource};
+use btbx::uarch::SimSession;
 
 fn main() {
     let spec = &suite::ipc1_client()[0];
     let n = 300_000u64;
 
     // Materialize a slice of the synthetic trace.
-    let instrs: Vec<_> = spec.build_trace().take_instrs(n).into_iter_instrs().collect();
+    let instrs: Vec<_> = spec
+        .build_trace()
+        .take_instrs(n)
+        .into_iter_instrs()
+        .collect();
 
     // ChampSim format: 64 bytes per instruction.
     let mut champsim_bytes = Vec::new();
@@ -39,8 +43,12 @@ fn main() {
 
     // Replay the ChampSim bytes through the simulator.
     let reader = ChampSimReader::new(&champsim_bytes[..], spec.name.clone());
-    let btb = factory::build(OrgKind::BtbX, BudgetPoint::Kb14_5.bits(Arch::Arm64), Arch::Arm64);
-    let r = simulate(SimConfig::with_fdip(), reader, btb, "btbx", 100_000, 150_000);
+    let r = SimSession::new(reader)
+        .btb_spec(BtbSpec::of(OrgKind::BtbX))
+        .warmup(100_000)
+        .measure(150_000)
+        .run()
+        .expect("default spec is valid");
     println!(
         "replayed from ChampSim bytes: IPC {:.3}, BTB MPKI {:.2}",
         r.stats.ipc(),

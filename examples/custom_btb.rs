@@ -11,11 +11,12 @@
 
 use btbx::core::btb::{Btb, BtbHit, HitSite};
 use btbx::core::replacement::LruSet;
+use btbx::core::spec::BtbSpec;
 use btbx::core::stats::{AccessCounts, StorageReport};
-use btbx::core::types::{Arch, BranchEvent, BtbBranchType, TargetSource};
-use btbx::core::{factory, OrgKind};
+use btbx::core::types::{BranchEvent, BtbBranchType, TargetSource};
+use btbx::core::OrgKind;
 use btbx::trace::suite;
-use btbx::uarch::{simulate, SimConfig};
+use btbx::uarch::SimSession;
 
 /// A fully associative BTB with full 48-bit tags (no aliasing) and full
 /// targets — simple, power-hungry, and capacity-starved.
@@ -114,26 +115,25 @@ fn main() {
 
     let toy = Box::new(FullyAssocBtb::new(64));
     let toy_bits = toy.storage().total_bits;
-    let r_toy = simulate(
-        SimConfig::with_fdip(),
-        spec.build_trace(),
-        toy,
-        "fa-toy",
-        warmup,
-        measure,
-    );
+    let r_toy = SimSession::new(spec.build_trace())
+        .btb(toy)
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .expect("instance-backed session");
 
-    // BTB-X squeezed into the same (tiny) storage.
-    let btbx = factory::build(OrgKind::BtbX, toy_bits, Arch::Arm64);
-    let cap = btbx.branch_capacity();
-    let r_btbx = simulate(
-        SimConfig::with_fdip(),
-        spec.build_trace(),
-        btbx,
-        "btbx",
-        warmup,
-        measure,
-    );
+    // BTB-X squeezed into the same (tiny) storage, via a validated spec.
+    let btbx_spec = BtbSpec::of(OrgKind::BtbX).budget_bits(toy_bits);
+    let cap = btbx_spec
+        .build()
+        .expect("toy budget fits BTB-X")
+        .branch_capacity();
+    let r_btbx = SimSession::new(spec.build_trace())
+        .btb_spec(btbx_spec)
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .expect("valid spec");
 
     println!("equal storage: {} bits", toy_bits);
     println!(

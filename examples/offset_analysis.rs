@@ -12,7 +12,10 @@ use btbx::trace::suite;
 
 fn main() {
     let spec = &suite::ipc1_server()[20]; // a large server workload
-    println!("workload: {} ({} functions)", spec.name, spec.params.num_funcs);
+    println!(
+        "workload: {} ({} functions)",
+        spec.name, spec.params.num_funcs
+    );
 
     let mut trace = spec.build_trace();
     let stats = TraceStats::collect(&mut trace, 2_000_000, Arch::Arm64);
@@ -41,7 +44,9 @@ fn main() {
     let mut widths = Vec::new();
     for k in 1..=8 {
         let target = k as f64 * 0.125;
-        let bits = (0..=46).find(|&b| stats.offset_cdf(b) >= target).unwrap_or(46);
+        let bits = (0..=46)
+            .find(|&b| stats.offset_cdf(b) >= target)
+            .unwrap_or(46);
         widths.push(bits);
     }
     // Way 0 exists for returns (0 bits) regardless of quantiles.

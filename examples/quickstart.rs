@@ -5,17 +5,25 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use btbx::core::spec::BtbSpec;
 use btbx::core::storage::BudgetPoint;
-use btbx::core::{factory, Arch, BranchClass, BranchEvent, OrgKind, TargetSource};
+use btbx::core::{Arch, BranchClass, BranchEvent, OrgKind, TargetSource};
 
 fn main() {
     // The paper's default evaluation budget: 14.5 KB of BTB storage.
     let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
-    println!("storage budget: {} bits ({:.1} KB)\n", budget, budget as f64 / 8192.0);
+    println!(
+        "storage budget: {} bits ({:.1} KB)\n",
+        budget,
+        budget as f64 / 8192.0
+    );
 
     println!("{:<10} {:>10} {:>14}", "org", "branches", "bits/branch");
     for kind in [OrgKind::Conv, OrgKind::Pdede, OrgKind::BtbX] {
-        let btb = factory::build(kind, budget, Arch::Arm64);
+        let btb = BtbSpec::of(kind)
+            .at(BudgetPoint::Kb14_5)
+            .build()
+            .expect("paper budgets are always valid");
         let storage = btb.storage();
         println!(
             "{:<10} {:>10} {:>14.1}",
@@ -27,7 +35,10 @@ fn main() {
 
     // Exercise BTB-X: a short conditional, a cross-page call, a return,
     // and a cross-region call that lands in BTB-XC.
-    let mut btb = factory::build(OrgKind::BtbX, budget, Arch::Arm64);
+    let mut btb = BtbSpec::of(OrgKind::BtbX)
+        .budget_bits(budget)
+        .build()
+        .unwrap();
     let branches = [
         BranchEvent::taken(0x40_1000, 0x40_1040, BranchClass::CondDirect),
         BranchEvent::taken(0x40_1010, 0x48_2000, BranchClass::CallDirect),
@@ -45,7 +56,10 @@ fn main() {
         match hit.target {
             TargetSource::Address(a) => {
                 assert_eq!(a, ev.target, "offset reconstruction must be exact");
-                println!("  {:#x} -> {:#x}  ({:?}, via {:?})", ev.pc, a, hit.btype, hit.site);
+                println!(
+                    "  {:#x} -> {:#x}  ({:?}, via {:?})",
+                    ev.pc, a, hit.btype, hit.site
+                );
             }
             TargetSource::ReturnStack => {
                 println!("  {:#x} -> return address stack ({:?})", ev.pc, hit.site);

@@ -6,17 +6,17 @@
 //! cargo run --release --example server_capacity_study
 //! ```
 
+use btbx::core::spec::BtbSpec;
 use btbx::core::storage::BudgetPoint;
-use btbx::core::{factory, Arch, OrgKind};
+use btbx::core::OrgKind;
 use btbx::trace::suite;
-use btbx::uarch::{simulate, SimConfig};
+use btbx::uarch::SimSession;
 
 fn main() {
     let spec = suite::ipc1_server()
         .into_iter()
         .find(|s| s.name == "server_030")
         .expect("workload exists");
-    let budget = BudgetPoint::Kb14_5.bits(Arch::Arm64);
     let (warmup, measure) = (400_000, 800_000);
 
     println!(
@@ -30,13 +30,13 @@ fn main() {
     let mut baseline = None;
     for org in [OrgKind::Conv, OrgKind::Pdede, OrgKind::BtbX] {
         for fdip in [false, true] {
-            let config = if fdip {
-                SimConfig::with_fdip()
-            } else {
-                SimConfig::without_fdip()
-            };
-            let btb = factory::build(org, budget, Arch::Arm64);
-            let r = simulate(config, spec.build_trace(), btb, org.id(), warmup, measure);
+            let r = SimSession::new(spec.build_trace())
+                .btb_spec(BtbSpec::of(org).at(BudgetPoint::Kb14_5))
+                .fdip(fdip)
+                .warmup(warmup)
+                .measure(measure)
+                .run()
+                .expect("paper budgets are always valid");
             if org == OrgKind::Conv && !fdip {
                 baseline = Some(r.stats.ipc());
             }

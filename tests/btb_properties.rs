@@ -32,7 +32,11 @@ fn arb_branch() -> impl Strategy<Value = BranchEvent> {
     ];
     (pc, class, delta, any::<bool>()).prop_map(|(pc, class, d, back)| {
         let d = (d as u64) << 2;
-        let target = if back { pc.saturating_sub(d) | 4 } else { (pc + d) & ((1 << 48) - 1) };
+        let target = if back {
+            pc.saturating_sub(d) | 4
+        } else {
+            (pc + d) & ((1 << 48) - 1)
+        };
         BranchEvent {
             pc,
             target: target & !3,

@@ -34,7 +34,10 @@ fn figure9_mpki_ordering_on_a_large_server() {
         pdede.stats.btb_mpki(),
         btbx.stats.btb_mpki(),
     );
-    assert!(c > 5.0, "a large server must stress the 1856-entry Conv-BTB: {c:.2}");
+    assert!(
+        c > 5.0,
+        "a large server must stress the 1856-entry Conv-BTB: {c:.2}"
+    );
     assert!(x < p, "BTB-X {x:.2} must beat PDede {p:.2}");
     assert!(p < c, "PDede {p:.2} must beat Conv {c:.2}");
 }

@@ -46,8 +46,16 @@ fn key_insight_fractions() {
     let avg = average_cdf(&specs);
     // Key Insight 1/2 (Section III): short offsets dominate; the long
     // tail is tiny.
-    assert!(avg.at(6) > 0.47, "≤6 bits should cover ~54%, got {:.3}", avg.at(6));
-    assert!(avg.at(25) > 0.97, ">99% within 25 bits, got {:.3}", avg.at(25));
+    assert!(
+        avg.at(6) > 0.47,
+        "≤6 bits should cover ~54%, got {:.3}",
+        avg.at(6)
+    );
+    assert!(
+        avg.at(25) > 0.97,
+        ">99% within 25 bits, got {:.3}",
+        avg.at(25)
+    );
     assert!(
         1.0 - avg.at(25) < 0.03,
         "paper: ~1% of branches need >25 bits"
@@ -57,7 +65,12 @@ fn key_insight_fractions() {
 #[test]
 fn x86_needs_about_two_more_bits() {
     let x86 = average_cdf(&suite::x86_apps());
-    let arm = average_cdf(&suite::ipc1_server().into_iter().step_by(6).collect::<Vec<_>>());
+    let arm = average_cdf(
+        &suite::ipc1_server()
+            .into_iter()
+            .step_by(6)
+            .collect::<Vec<_>>(),
+    );
     // Section VI-G: x86 coverage at N bits ≈ Arm64 coverage at N-2 bits.
     let arm6 = arm.at(6);
     let x86_8 = x86.at(8);
@@ -72,7 +85,12 @@ fn x86_needs_about_two_more_bits() {
 #[test]
 fn cvp_family_is_similar_to_ipc1() {
     let cvp = average_cdf(&suite::cvp1(8));
-    let ipc = average_cdf(&suite::ipc1_server().into_iter().step_by(6).collect::<Vec<_>>());
+    let ipc = average_cdf(
+        &suite::ipc1_server()
+            .into_iter()
+            .step_by(6)
+            .collect::<Vec<_>>(),
+    );
     for bits in [0usize, 6, 11, 19, 25] {
         assert!(
             (cvp.at(bits) - ipc.at(bits)).abs() < 0.10,

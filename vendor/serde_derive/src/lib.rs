@@ -1,0 +1,403 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote` available
+//! offline). Supports what this workspace uses: non-generic structs with
+//! named fields, enums with unit / tuple / struct variants, and the
+//! `#[serde(skip)]` / `#[serde(default = "path")]` field attributes.
+//! Anything else panics at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `#[serde(default = "path")]` value, quotes stripped.
+    default: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let mut kw = String::new();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kw = s;
+                    break;
+                }
+                // visibility / other modifiers: skip
+            }
+            _ => {}
+        }
+    }
+    assert!(!kw.is_empty(), "serde stub derive: expected struct or enum");
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde stub derive: expected type name, got {t:?}"),
+    };
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde stub derive: generic type {name} unsupported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde stub derive: unit/tuple struct {name} unsupported")
+            }
+            Some(_) => continue,
+            None => panic!("serde stub derive: no body for {name}"),
+        }
+    };
+    let kind = if kw == "struct" {
+        Kind::Struct(parse_fields(body))
+    } else {
+        Kind::Enum(parse_variants(body))
+    };
+    Item { name, kind }
+}
+
+/// Consume leading `#[...]` attribute groups, extracting serde options.
+fn parse_attrs(it: &mut Tokens) -> (bool, Option<String>) {
+    let (mut skip, mut default) = (false, None);
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        let Some(TokenTree::Group(g)) = it.next() else {
+            panic!("serde stub derive: malformed attribute")
+        };
+        let mut inner = g.stream().into_iter().peekable();
+        let is_serde = matches!(
+            inner.peek(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+        );
+        if !is_serde {
+            continue;
+        }
+        inner.next();
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tt) = args.next() {
+            let TokenTree::Ident(id) = tt else { continue };
+            match id.to_string().as_str() {
+                "skip" => skip = true,
+                "default" => {
+                    if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        args.next();
+                        match args.next() {
+                            Some(TokenTree::Literal(l)) => {
+                                default = Some(l.to_string().trim_matches('"').to_string());
+                            }
+                            t => panic!("serde stub derive: default expects a string, got {t:?}"),
+                        }
+                    } else {
+                        default = Some(String::new()); // bare #[serde(default)]
+                    }
+                }
+                other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    (skip, default)
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default) = parse_attrs(&mut it);
+        // optional visibility
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next(); // pub(crate) etc.
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde stub derive: expected field name, got {t:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde stub derive: expected `:` after {name}, got {t:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            it.next();
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+        if it.peek().is_none() {
+            break;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = parse_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde stub derive: expected variant name, got {t:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                // Count top-level comma-separated types.
+                let mut depth = 0i32;
+                let (mut count, mut any) = (0usize, false);
+                for tt in inner {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        _ => any = true,
+                    }
+                }
+                Shape::Tuple(if any { count + 1 } else { 0 })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                Shape::Struct(parse_fields(inner))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while let Some(tt) = it.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                it.next();
+                break;
+            }
+            it.next();
+        }
+        variants.push(Variant { name, shape });
+        if it.peek().is_none() {
+            break;
+        }
+    }
+    variants
+}
+
+fn struct_to_value(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut s = String::from("{ let mut __o: Vec<(String, serde::Value)> = Vec::new(); ");
+    for f in fields.iter().filter(|f| !f.skip) {
+        s.push_str(&format!(
+            "__o.push((\"{n}\".to_string(), serde::Serialize::to_value(&{a}))); ",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    s.push_str("serde::Value::Object(__o) }");
+    s
+}
+
+fn struct_from_value(name: &str, fields: &[Field], src: &str) -> String {
+    let mut s = format!("{name} {{ ");
+    for f in fields {
+        let expr = if f.skip {
+            match f.default.as_deref() {
+                Some("") | None => "Default::default()".to_string(),
+                Some(path) => format!("{path}()"),
+            }
+        } else {
+            match f.default.as_deref() {
+                None => format!("serde::__field({src}, \"{}\")?", f.name),
+                Some("") => format!(
+                    "serde::__field_or({src}, \"{}\", Default::default)?",
+                    f.name
+                ),
+                Some(path) => {
+                    format!("serde::__field_or({src}, \"{}\", {path})?", f.name)
+                }
+            }
+        };
+        s.push_str(&format!("{}: {expr}, ", f.name));
+    }
+    s.push_str(" }");
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => struct_to_value(fields, &|f| format!("self.{f}")),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()), "
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(__x0))]), "
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))]), ",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = struct_to_value(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), {obj})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => format!(
+            "if !matches!(__v, serde::Value::Object(_)) {{ \
+               return Err(serde::Error::msg(\"expected object for {name}\")); \
+             }} Ok({})",
+            struct_from_value(name, fields, "__v")
+        ),
+        Kind::Enum(variants) => {
+            let has_unit = variants.iter().any(|v| matches!(v.shape, Shape::Unit));
+            let has_data = variants.iter().any(|v| !matches!(v.shape, Shape::Unit));
+            let mut arms = String::new();
+            if has_unit {
+                let mut unit_arms = String::new();
+                for v in variants.iter().filter(|v| matches!(v.shape, Shape::Unit)) {
+                    unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}), ", vn = v.name));
+                }
+                arms.push_str(&format!(
+                    "serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                     __other => Err(serde::Error::msg(format!(\"unknown variant {{__other}} for {name}\"))), }}, "
+                ));
+            }
+            if has_data {
+                let mut data_arms = String::new();
+                for v in variants.iter().filter(|v| !matches!(v.shape, Shape::Unit)) {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => unreachable!(),
+                        Shape::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__val)?)), "
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => match __val {{ \
+                                   serde::Value::Array(__a) if __a.len() == {n} => \
+                                     Ok({name}::{vn}({})), \
+                                   _ => Err(serde::Error::msg(\"expected {n}-element array for {name}::{vn}\")), \
+                                 }}, ",
+                                elems.join(", ")
+                            ));
+                        }
+                        Shape::Struct(fields) => data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({}), ",
+                            struct_from_value(&format!("{name}::{vn}"), fields, "__val")
+                        )),
+                    }
+                }
+                arms.push_str(&format!(
+                    "serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                       let (__k, __val) = &__o[0]; \
+                       match __k.as_str() {{ {data_arms} \
+                         __other => Err(serde::Error::msg(format!(\"unknown variant {{__other}} for {name}\"))), }} \
+                     }}, "
+                ));
+            }
+            format!(
+                "match __v {{ {arms} _ => Err(serde::Error::msg(\"expected variant of {name}\")), }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+           fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} \
+         }}"
+    )
+}
