@@ -37,6 +37,7 @@ commands:
   probe speed|ws  diagnostics (predictor rates / way pressure)
   all             run the full reproduction and write RESULTS.md
   sweep           run a custom workload x org x budget x FDIP matrix
+  bench           measure simulator throughput, write BENCH_sim.json
   list            list every runnable experiment
   help            show this help
 
@@ -90,6 +91,7 @@ fn main() {
             (registry::find(name).expect("registered").run)(&opts);
         }
         "sweep" => sweep_cmd(args),
+        "bench" => bench_cmd(args),
         name => match registry::find(name) {
             Some(e) => {
                 let opts = parse_opts(args, name, None);
@@ -156,6 +158,10 @@ fn list() {
     println!(
         "  {:<12} {:<8} custom matrix (see btbx sweep --help)",
         "sweep", ""
+    );
+    println!(
+        "  {:<12} {:<8} simulator throughput, writes BENCH_sim.json",
+        "bench", ""
     );
 }
 
@@ -279,6 +285,50 @@ fn sweep_cmd(args: Vec<String>) {
     }
     let path = write_artifact(&opts.out_dir, "sweep.csv", &csv);
     println!("\n{} results -> {}", results.len(), path.display());
+}
+
+const BENCH_USAGE: &str = "\
+usage: btbx bench [options]
+
+Measures end-to-end simulation throughput (events/sec = measured
+instructions per wall-clock second) per paper-evaluation organization in
+three modes — statically dispatched serial, dyn-dispatch serial, and
+4-shard interval-sharded — and writes <out>/BENCH_sim.json.
+
+options:
+  --smoke          small windows for CI (one order of magnitude faster)
+  --baseline FILE  compare against a recorded BENCH_sim.json and fail on
+                   a >25% events/sec regression for any matching entry
+                   (normalized by the median throughput ratio, so a
+                   uniformly faster/slower host is not a regression)";
+
+fn bench_cmd(args: Vec<String>) {
+    let mut smoke = false;
+    let mut baseline: Option<String> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--baseline" => {
+                baseline = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--baseline expects a file path")),
+                );
+            }
+            "--help" | "-h" => {
+                println!("{BENCH_USAGE}\n\n{OPTIONS_USAGE}");
+                return;
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = parse_opts(rest, "bench", Some(BENCH_USAGE));
+    let baseline = baseline.map(std::path::PathBuf::from);
+    if let Err(msg) = btbx_bench::perf::run(&opts, smoke, baseline.as_deref()) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
 }
 
 fn parse_orgs(list: &str) -> Vec<OrgKind> {

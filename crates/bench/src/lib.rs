@@ -15,13 +15,16 @@
 //!   (`eval_matrix`, `budget_sweep`) and the offset-study drivers;
 //! * [`opts`] — shared command-line options (`--warmup`, `--measure`,
 //!   `--quick`, `--fresh`, `--threads`, `--out`), `Result`-based;
-//! * [`runner`] — a small work-stealing thread pool for simulation
-//!   sweeps;
+//! * [`runner`] — the panic-safe work-queue thread pool (re-exported
+//!   from `btbx-uarch`);
+//! * [`perf`] — the `btbx bench` simulator-throughput benchmark and its
+//!   `BENCH_sim.json` trajectory/regression gate;
 //! * [`report`] — text/CSV emission helpers.
 
 pub mod experiments;
 pub mod figures;
 pub mod opts;
+pub mod perf;
 pub mod registry;
 pub mod report;
 pub mod runner;

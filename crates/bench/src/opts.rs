@@ -24,6 +24,10 @@ pub struct HarnessOpts {
     pub out_dir: PathBuf,
     /// Worker threads.
     pub threads: usize,
+    /// Trace shards per simulation (1 = serial replay). Sharded runs
+    /// replay each simulation as `N` interval shards with warm-up
+    /// carry-in (see EXPERIMENTS.md, "Interval sharding").
+    pub shards: usize,
 }
 
 impl Default for HarnessOpts {
@@ -37,6 +41,7 @@ impl Default for HarnessOpts {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(2),
+            shards: 1,
         }
     }
 }
@@ -87,6 +92,7 @@ options:
   --offset-instrs N  instructions per offset study         [1000000]
   --quick            preset: 150k warm-up / 300k measured windows
   --threads N        worker threads                        [all cores]
+  --shards N         interval shards per simulation        [1]
   --fresh            re-simulate even when cached results exist
   --out DIR          artifact + cache directory            [results]
   -h, --help         show this help";
@@ -117,6 +123,7 @@ impl HarnessOpts {
                 "--measure" => opts.measure = take("--measure")?,
                 "--offset-instrs" => opts.offset_instrs = take("--offset-instrs")?,
                 "--threads" => opts.threads = take("--threads")? as usize,
+                "--shards" => opts.shards = (take("--shards")? as usize).max(1),
                 "--quick" => {
                     opts.warmup = 150_000;
                     opts.measure = 300_000;

@@ -1,0 +1,439 @@
+//! `btbx bench`: the recorded performance trajectory of the simulator
+//! itself.
+//!
+//! Runs one mid-size server workload through each paper-evaluation
+//! organization in three engine modes and records useful simulation
+//! throughput (measured instructions per wall-clock second) to
+//! `BENCH_sim.json`:
+//!
+//! * `serial` — statically dispatched [`btbx_core::BtbEngine`], one shard
+//!   (the default path of every spec-driven session);
+//! * `serial-dyn` — the legacy `Box<dyn Btb>` compatibility path, for the
+//!   static-vs-virtual dispatch trajectory;
+//! * `sharded` — [`btbx_uarch::ParallelSession`] with
+//!   [`SHARDS`] interval shards and a bounded warm-up carry-in, the
+//!   single-run wall-clock path.
+//!
+//! Events/sec counts *measured* instructions only: the serial runs pay the
+//! full warm-up prefix, the sharded run replaces it with `SHARDS` bounded
+//! carry-ins plus one shared generation-only pass — that work reduction
+//! (and, on multi-core hosts, shard parallelism) is exactly what the
+//! benchmark exists to track. Each mode reports the best of [`REPS`]
+//! repetitions to damp scheduler noise.
+//!
+//! With `--baseline FILE` the run compares itself entry-by-entry against a
+//! previously recorded file and fails on a >25 % events/sec regression
+//! after normalizing out the host-speed difference (see
+//! [`check_baseline`]'s median-ratio normalization) — the CI smoke-bench
+//! gate.
+
+use crate::opts::HarnessOpts;
+use crate::report::write_artifact;
+use btbx_core::OrgKind;
+use btbx_trace::suite;
+use btbx_uarch::{ParallelSession, SimConfig, SimSession};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Instant;
+
+/// Shards used by the `sharded` entries.
+pub const SHARDS: usize = 4;
+/// Repetitions per entry (best rate wins — the minimum wall-clock is the
+/// most noise-robust point estimate on shared hosts).
+pub const REPS: usize = 3;
+/// Allowed events/sec regression vs a baseline before the run fails.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Organization id (`conv`, `pdede`, `btbx`).
+    pub org: String,
+    /// `serial`, `serial-dyn` or `sharded`.
+    pub mode: String,
+    /// Measured (useful) instructions simulated.
+    pub events: u64,
+    /// Wall-clock seconds of the best repetition.
+    pub seconds: f64,
+    /// `events / seconds` — the recorded throughput.
+    pub events_per_sec: f64,
+    /// Taken-branch BTB MPKI of the run, recorded so the accuracy cost
+    /// of the sharded mode's bounded carry-in stays visible in the
+    /// trajectory. The serial modes agree exactly (the differential
+    /// suite pins that); the sharded figure runs *higher* on this
+    /// large-footprint workload because `carry_in` instructions cannot
+    /// fully warm the BTB the way the serial warm-up prefix does.
+    pub btb_mpki: f64,
+}
+
+/// The windows every entry ran with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchWindows {
+    /// Serial warm-up instructions.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+    /// Per-shard simulated warm-up carry-in of the sharded mode.
+    pub carry_in: u64,
+    /// Shard count of the sharded mode.
+    pub shards: usize,
+}
+
+/// The `BENCH_sim.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag (`btbx-bench-sim/1`).
+    pub schema: String,
+    /// `smoke` or `full`.
+    pub mode: String,
+    /// Workload every entry replayed.
+    pub workload: String,
+    /// Shared run windows.
+    pub windows: BenchWindows,
+    /// One row per (org, mode).
+    pub entries: Vec<BenchEntry>,
+    /// Per-org `sharded` over `serial` events/sec ratio.
+    pub speedup_sharded_vs_serial: Vec<(String, f64)>,
+    /// Per-org `serial` (static) over `serial-dyn` events/sec ratio.
+    pub speedup_static_vs_dyn: Vec<(String, f64)>,
+}
+
+struct Timed {
+    events: u64,
+    seconds: f64,
+    btb_mpki: f64,
+}
+
+fn best_of<F: FnMut() -> Timed>(mut f: F) -> Timed {
+    let mut best = f();
+    for _ in 1..REPS {
+        let t = f();
+        if t.seconds < best.seconds {
+            best = t;
+        }
+    }
+    best
+}
+
+/// Run the simulator benchmark and write `BENCH_sim.json` under
+/// `opts.out_dir`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when a baseline comparison detects a
+/// regression beyond [`REGRESSION_TOLERANCE`] (I/O problems with the
+/// baseline file are also reported as errors).
+pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(), String> {
+    // Serial runs pay `warmup + measure` simulated instructions; the
+    // sharded runs pay `SHARDS * carry_in + measure` plus one shared
+    // generation-only pass. The 4:1 warm-up:measure shape
+    // mirrors how the paper's methodology is dominated by warm-up (50 M
+    // warmed instructions per 50 M measured, per budget point).
+    let (warmup, measure, carry_in) = if smoke {
+        (400_000u64, 100_000u64, 25_000u64)
+    } else {
+        (2_000_000, 500_000, 100_000)
+    };
+    let workload = suite::ipc1_server()
+        .into_iter()
+        .find(|w| w.name == "server_020")
+        .expect("calibrated suite contains server_020");
+    let config = SimConfig::with_fdip();
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for org in OrgKind::PAPER_EVAL {
+        let spec = btbx_core::BtbSpec::of(org).arch(workload.params.arch);
+
+        eprintln!("[bench] {}: serial (engine)…", org.id());
+        let serial = best_of(|| {
+            // Construction outside the timed window, mirroring the dyn
+            // entry below — the comparison is per-event dispatch cost.
+            let engine = spec.build_engine().expect("paper spec is valid");
+            let start = Instant::now();
+            let r = SimSession::new(workload.build_trace())
+                .btb(engine)
+                .config(config.clone())
+                .label(org.id())
+                .warmup(warmup)
+                .measure(measure)
+                .run()
+                .expect("instance sessions always run");
+            Timed {
+                events: r.stats.instructions,
+                seconds: start.elapsed().as_secs_f64(),
+                btb_mpki: r.stats.btb_mpki(),
+            }
+        });
+        push_entry(&mut entries, org, "serial", serial);
+
+        eprintln!("[bench] {}: serial (dyn dispatch)…", org.id());
+        let dyn_serial = best_of(|| {
+            let btb = spec.build().expect("paper spec is valid");
+            let start = Instant::now();
+            let r = SimSession::new(workload.build_trace())
+                .btb(btb)
+                .config(config.clone())
+                .label(org.id())
+                .warmup(warmup)
+                .measure(measure)
+                .run()
+                .expect("instance sessions always run");
+            Timed {
+                events: r.stats.instructions,
+                seconds: start.elapsed().as_secs_f64(),
+                btb_mpki: r.stats.btb_mpki(),
+            }
+        });
+        push_entry(&mut entries, org, "serial-dyn", dyn_serial);
+
+        eprintln!("[bench] {}: sharded ×{SHARDS}…", org.id());
+        let sharded = best_of(|| {
+            let w = workload.clone();
+            let start = Instant::now();
+            let out = ParallelSession::new(move || w.build_trace(), spec)
+                .config(config.clone())
+                .label(org.id())
+                .warmup(warmup)
+                .measure(measure)
+                .shards(SHARDS)
+                .carry_in(carry_in)
+                .run()
+                .expect("paper spec is valid");
+            Timed {
+                events: out.result.stats.instructions,
+                seconds: start.elapsed().as_secs_f64(),
+                btb_mpki: out.result.stats.btb_mpki(),
+            }
+        });
+        push_entry(&mut entries, org, "sharded", sharded);
+    }
+
+    let rate = |org: OrgKind, mode: &str| {
+        entries
+            .iter()
+            .find(|e| e.org == org.id() && e.mode == mode)
+            .map(|e| e.events_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup_sharded_vs_serial: Vec<(String, f64)> = OrgKind::PAPER_EVAL
+        .iter()
+        .map(|&o| (o.id().to_string(), rate(o, "sharded") / rate(o, "serial")))
+        .collect();
+    let speedup_static_vs_dyn: Vec<(String, f64)> = OrgKind::PAPER_EVAL
+        .iter()
+        .map(|&o| {
+            (
+                o.id().to_string(),
+                rate(o, "serial") / rate(o, "serial-dyn"),
+            )
+        })
+        .collect();
+
+    let report = BenchReport {
+        schema: "btbx-bench-sim/1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        workload: workload.name.clone(),
+        windows: BenchWindows {
+            warmup,
+            measure,
+            carry_in,
+            shards: SHARDS,
+        },
+        entries,
+        speedup_sharded_vs_serial,
+        speedup_static_vs_dyn,
+    };
+
+    println!(
+        "{:<8} {:<11} {:>12} {:>9} {:>14} {:>9}",
+        "org", "mode", "events", "seconds", "events/sec", "BTB MPKI"
+    );
+    for e in &report.entries {
+        println!(
+            "{:<8} {:<11} {:>12} {:>9.3} {:>14.0} {:>9.3}",
+            e.org, e.mode, e.events, e.seconds, e.events_per_sec, e.btb_mpki
+        );
+    }
+    for (org, s) in &report.speedup_sharded_vs_serial {
+        println!("speedup {org}: sharded×{SHARDS} vs serial = {s:.2}×");
+    }
+    for (org, s) in &report.speedup_static_vs_dyn {
+        println!("speedup {org}: static vs dyn dispatch = {s:.2}×");
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = write_artifact(&opts.out_dir, "BENCH_sim.json", &json);
+    println!("wrote {}", path.display());
+
+    if let Some(base_path) = baseline {
+        check_baseline(&report, base_path)?;
+    }
+    Ok(())
+}
+
+fn push_entry(entries: &mut Vec<BenchEntry>, org: OrgKind, mode: &str, t: Timed) {
+    entries.push(BenchEntry {
+        org: org.id().to_string(),
+        mode: mode.to_string(),
+        events: t.events,
+        seconds: t.seconds,
+        events_per_sec: t.events as f64 / t.seconds.max(1e-9),
+        btb_mpki: t.btb_mpki,
+    });
+}
+
+/// Compare against a previously recorded report.
+///
+/// The baseline may have been recorded on a different machine (the
+/// committed `BENCH_sim.json` vs a CI runner), so raw events/sec are not
+/// comparable: entries are first normalized by the **median**
+/// current/baseline throughput ratio, which estimates the host speed
+/// factor. A matching (org, mode) entry whose *normalized* throughput
+/// falls more than [`REGRESSION_TOLERANCE`] below its baseline fails —
+/// i.e. the gate catches entries that regressed relative to the rest of
+/// the suite. The deliberate blind spot: a perfectly uniform slowdown of
+/// every entry reads as a slower host (the absolute numbers still land
+/// in the report for the trajectory).
+fn check_baseline(report: &BenchReport, path: &Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+    let base: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+    let matches: Vec<(&BenchEntry, &BenchEntry)> = base
+        .entries
+        .iter()
+        .filter_map(|b| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.org == b.org && e.mode == b.mode)
+                .map(|cur| (b, cur))
+        })
+        .collect();
+    if matches.is_empty() {
+        println!("baseline {}: no matching entries", path.display());
+        return Ok(());
+    }
+    let mut ratios: Vec<f64> = matches
+        .iter()
+        .map(|(b, cur)| cur.events_per_sec / b.events_per_sec.max(1e-9))
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let host_speed = ratios[ratios.len() / 2];
+    println!("baseline host-speed factor: {host_speed:.2}× (median over matching entries)");
+
+    let mut failures = Vec::new();
+    for (b, cur) in matches {
+        let normalized = cur.events_per_sec / host_speed;
+        let floor = b.events_per_sec * (1.0 - REGRESSION_TOLERANCE);
+        if normalized < floor {
+            failures.push(format!(
+                "{}/{}: {:.0} events/sec normalized vs baseline {:.0} (floor {:.0})",
+                b.org, b.mode, normalized, b.events_per_sec, floor
+            ));
+        } else {
+            println!(
+                "baseline {}/{}: {:.0} normalized vs {:.0} events/sec — ok",
+                b.org, b.mode, normalized, b.events_per_sec
+            );
+        }
+    }
+    if failures.is_empty() {
+        println!("baseline check passed ({} entries)", base.entries.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "performance regression vs {}:\n  {}",
+            path.display(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(org: &str, mode: &str, rate: f64) -> BenchEntry {
+        BenchEntry {
+            org: org.into(),
+            mode: mode.into(),
+            events: 1000,
+            seconds: 1.0,
+            events_per_sec: rate,
+            btb_mpki: 0.0,
+        }
+    }
+
+    fn report_with(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            schema: "btbx-bench-sim/1".into(),
+            mode: "smoke".into(),
+            workload: "w".into(),
+            windows: BenchWindows {
+                warmup: 1,
+                measure: 1,
+                carry_in: 1,
+                shards: SHARDS,
+            },
+            entries,
+            speedup_sharded_vs_serial: vec![],
+            speedup_static_vs_dyn: vec![],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report_with(vec![entry("conv", "serial", 1e6)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].org, "conv");
+        assert_eq!(back.schema, r.schema);
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_relative_regression_only() {
+        let dir = std::env::temp_dir().join("btbx-bench-baseline-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let base = report_with(vec![
+            entry("conv", "serial", 1000.0),
+            entry("conv", "sharded", 1000.0),
+            entry("pdede", "serial", 1000.0),
+        ]);
+        let path = dir.join("base.json");
+        std::fs::write(&path, serde_json::to_string(&base).unwrap()).unwrap();
+
+        // A uniformly 2× slower host is a host difference, not a
+        // regression: every entry normalizes back to the baseline.
+        let slow_host = report_with(vec![
+            entry("conv", "serial", 500.0),
+            entry("conv", "sharded", 500.0),
+            entry("pdede", "serial", 500.0),
+        ]);
+        assert!(check_baseline(&slow_host, &path).is_ok());
+
+        // One entry at half speed while the rest hold: relative
+        // regression, flagged by name.
+        let bad = report_with(vec![
+            entry("conv", "serial", 1000.0),
+            entry("conv", "sharded", 500.0),
+            entry("pdede", "serial", 1000.0),
+        ]);
+        let err = check_baseline(&bad, &path).unwrap_err();
+        assert!(err.contains("conv/sharded"), "{err}");
+        assert!(!err.contains("conv/serial"), "{err}");
+
+        // Entries only in the current run are ignored; entries only in
+        // the baseline are skipped when missing here.
+        let extra = report_with(vec![entry("rbtb", "serial", 1.0)]);
+        assert!(check_baseline(&extra, &path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_baseline_file_is_an_error() {
+        let r = report_with(vec![]);
+        assert!(check_baseline(&r, Path::new("/nonexistent/bench.json")).is_err());
+    }
+}

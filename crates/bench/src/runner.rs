@@ -1,80 +1,30 @@
-//! A minimal work-queue thread pool for simulation sweeps.
+//! Thread-pool re-export.
 //!
-//! Jobs are independent closures producing results; the pool preserves
-//! input order in the output. Progress is reported to stderr since sweeps
-//! can take minutes.
+//! The work-queue pool moved to [`btbx_uarch::runner`] so the simulator's
+//! [`btbx_uarch::parallel::ParallelSession`] can replay trace shards on
+//! it; the experiment harness keeps using it through this alias. A
+//! panicking job fails the whole run with the job's label instead of
+//! poisoning or hanging the pool (see the pool's own tests).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Run `jobs` on up to `threads` workers, preserving order; `label` is
-/// used for progress reporting.
-pub fn run_jobs<T, F>(label: &str, threads: usize, jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let total = jobs.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, total);
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    // Jobs are FnOnce; store them as Options so workers can take them.
-    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let job = slots[i].lock().unwrap().take().expect("job taken twice");
-                let result = job();
-                *results[i].lock().unwrap() = Some(result);
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d.is_multiple_of(10) || d == total {
-                    eprintln!("[{label}] {d}/{total}");
-                }
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("missing result"))
-        .collect()
-}
+pub use btbx_uarch::runner::{run_jobs, run_named_jobs};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn preserves_order() {
-        let jobs: Vec<_> = (0..50).map(|i| move || i * 2).collect();
-        let out = run_jobs("t", 4, jobs);
-        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    fn reexported_pool_runs_jobs_in_order() {
+        let jobs: Vec<_> = (0..8).map(|i| move || i * 3).collect();
+        assert_eq!(
+            run_jobs("shim", 2, jobs),
+            (0..8).map(|i| i * 3).collect::<Vec<_>>()
+        );
     }
 
     #[test]
-    fn empty_is_fine() {
-        let out: Vec<i32> = run_jobs("t", 4, Vec::<fn() -> i32>::new());
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_thread_works() {
-        let jobs: Vec<_> = (0..5).map(|i| move || i + 1).collect();
-        assert_eq!(run_jobs("t", 1, jobs), vec![1, 2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn more_threads_than_jobs() {
-        let jobs: Vec<_> = (0..2).map(|i| move || i).collect();
-        assert_eq!(run_jobs("t", 16, jobs), vec![0, 1]);
+    fn named_jobs_are_available_to_the_harness() {
+        let jobs: Vec<(String, fn() -> i32)> =
+            vec![("a".to_string(), || 1), ("b".to_string(), || 2)];
+        assert_eq!(run_named_jobs("shim", 2, jobs), vec![1, 2]);
     }
 }

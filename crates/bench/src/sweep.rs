@@ -34,11 +34,11 @@
 //! reads but still refreshes the cache.
 
 use crate::opts::HarnessOpts;
-use crate::runner::run_jobs;
+use crate::runner::run_named_jobs;
 use btbx_core::spec::{BtbSpec, Budget};
 use btbx_core::OrgKind;
 use btbx_trace::suite::WorkloadSpec;
-use btbx_uarch::{SimConfig, SimResult, SimSession};
+use btbx_uarch::{ParallelSession, SimConfig, SimResult, SimSession};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -99,6 +99,44 @@ impl SimPoint {
             .measure(self.measure)
             .run()
             .unwrap_or_else(|e| panic!("sim point {}: {e}", self.cache_file()))
+    }
+
+    /// Run the simulation for this point split into `shards` interval
+    /// shards with the default (full-warm-up) carry-in; `shards <= 1`
+    /// falls back to the serial [`run`](SimPoint::run). See
+    /// EXPERIMENTS.md, "Interval sharding", for when sharded results are
+    /// identical to serial ones.
+    pub fn run_sharded(&self, shards: usize, threads: usize) -> SimResult {
+        if shards <= 1 {
+            return self.run();
+        }
+        let workload = self.workload.clone();
+        ParallelSession::new(move || workload.build_trace(), self.btb_spec())
+            .config(self.config.clone())
+            .label(self.org.id())
+            .warmup(self.warmup)
+            .measure(self.measure)
+            .shards(shards)
+            .threads(threads)
+            .run()
+            .unwrap_or_else(|e| panic!("sim point {}: {e}", self.cache_file()))
+            .result
+    }
+
+    /// Cache file name for a run at the given shard count. Serial results
+    /// keep the historical name; sharded results are segregated because
+    /// they are not guaranteed byte-identical to serial ones.
+    pub fn cache_file_for(&self, shards: usize) -> String {
+        if shards <= 1 {
+            self.cache_file()
+        } else {
+            format!(
+                "{}-{}-{}-s{shards}.json",
+                self.workload.name,
+                self.org.id(),
+                self.cache_key()
+            )
+        }
     }
 }
 
@@ -233,22 +271,41 @@ impl Sweep {
 
     /// Run every point, reading and writing the per-point cache under
     /// `opts.out_dir/cache`. Results come back in [`Sweep::points`] order.
+    ///
+    /// With `opts.shards > 1` each simulation replays as that many
+    /// interval shards ([`SimPoint::run_sharded`]); sharded results cache
+    /// under shard-tagged file names so they never alias serial ones.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<SimResult> {
         let cache_dir = opts.out_dir.join("cache");
         let points = self.points();
+        let shards = opts.shards.max(1);
+        // Sharded points fan out internally; divide the pool between the
+        // two levels instead of oversubscribing.
+        let point_threads = if shards > 1 {
+            (opts.threads / shards).max(1)
+        } else {
+            opts.threads
+        };
+        let shard_threads = opts.threads.clamp(1, shards);
         let mut results: Vec<Option<SimResult>> = Vec::with_capacity(points.len());
         let mut jobs = Vec::new();
         let mut misses: Vec<usize> = Vec::new();
         for (i, point) in points.iter().enumerate() {
-            let path = cache_dir.join(point.cache_file());
+            let path = cache_dir.join(point.cache_file_for(shards));
             let cached = if opts.fresh { None } else { load_cached(&path) };
             match cached {
                 Some(r) => results.push(Some(r)),
                 None => {
                     results.push(None);
                     misses.push(i);
+                    let label = format!(
+                        "{}:{}@{}",
+                        point.workload.name,
+                        point.org.id(),
+                        point.budget.label()
+                    );
                     let point = point.clone();
-                    jobs.push(move || point.run());
+                    jobs.push((label, move || point.run_sharded(shards, shard_threads)));
                 }
             }
         }
@@ -256,9 +313,9 @@ impl Sweep {
         if hits > 0 {
             eprintln!("[{}] {hits}/{} cached", self.name, points.len());
         }
-        let fresh = run_jobs(&self.name, opts.threads, jobs);
+        let fresh = run_named_jobs(&self.name, point_threads, jobs);
         for (i, result) in misses.into_iter().zip(fresh) {
-            store_cached(&cache_dir.join(points[i].cache_file()), &result);
+            store_cached(&cache_dir.join(points[i].cache_file_for(shards)), &result);
             results[i] = Some(result);
         }
         results
@@ -296,6 +353,7 @@ mod tests {
             fresh: false,
             out_dir: std::env::temp_dir().join(dir),
             threads: 2,
+            shards: 1,
         }
     }
 

@@ -101,6 +101,47 @@ pub trait Btb {
     }
 }
 
+impl<T: Btb + ?Sized> Btb for Box<T> {
+    #[inline]
+    fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
+        (**self).lookup(pc)
+    }
+
+    #[inline]
+    fn update(&mut self, event: &BranchEvent) {
+        (**self).update(event)
+    }
+
+    #[inline]
+    fn note_target_consumed(&mut self, hit: &BtbHit) {
+        (**self).note_target_consumed(hit)
+    }
+
+    fn storage(&self) -> StorageReport {
+        (**self).storage()
+    }
+
+    fn counts(&self) -> AccessCounts {
+        (**self).counts()
+    }
+
+    fn reset_counts(&mut self) {
+        (**self).reset_counts()
+    }
+
+    fn clear(&mut self) {
+        (**self).clear()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn branch_capacity(&self) -> u64 {
+        (**self).branch_capacity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

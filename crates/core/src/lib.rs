@@ -60,6 +60,7 @@
 
 pub mod btb;
 pub mod conv;
+pub mod engine;
 pub mod factory;
 pub mod hooger;
 pub mod infinite;
@@ -76,6 +77,7 @@ pub mod x;
 
 pub use btb::{Btb, BtbHit, HitSite};
 pub use conv::ConvBtb;
+pub use engine::BtbEngine;
 pub use factory::{build, OrgKind};
 pub use hooger::MixedBtb;
 pub use infinite::InfiniteBtb;

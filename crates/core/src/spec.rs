@@ -242,6 +242,22 @@ impl BtbSpec {
         Ok(factory::build(self.org, self.bits(), self.arch))
     }
 
+    /// Build the described BTB as a statically dispatched
+    /// [`crate::engine::BtbEngine`] — the fast path the simulator prefers.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate`](BtbSpec::validate) reports; on `Ok` the
+    /// construction itself cannot panic.
+    pub fn build_engine(&self) -> Result<crate::engine::BtbEngine, SpecError> {
+        self.validate()?;
+        Ok(crate::engine::BtbEngine::build(
+            self.org,
+            self.bits(),
+            self.arch,
+        ))
+    }
+
     /// Short stable identity, e.g. `btbx@14.5KB/arm64` — used in cache
     /// keys and report labels.
     pub fn id(&self) -> String {

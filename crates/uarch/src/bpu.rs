@@ -102,20 +102,38 @@ impl BpuStats {
     pub fn flushes(&self) -> u64 {
         self.decode_resteers + self.execute_resteers
     }
+
+    /// Merge counters from another window (shard/interval aggregation).
+    pub fn merge(&mut self, o: &BpuStats) {
+        self.lookups += o.lookups;
+        self.branches += o.branches;
+        self.taken_branches += o.taken_branches;
+        self.btb_miss_taken += o.btb_miss_taken;
+        self.direction_mispredicts += o.direction_mispredicts;
+        self.target_mispredicts += o.target_mispredicts;
+        self.false_hits += o.false_hits;
+        self.decode_resteers += o.decode_resteers;
+        self.execute_resteers += o.execute_resteers;
+        self.cond_predictions += o.cond_predictions;
+    }
 }
 
 /// The branch prediction unit.
-pub struct Bpu {
-    btb: Box<dyn Btb>,
+///
+/// Generic over the BTB representation: `Box<dyn Btb>` (the default) keeps
+/// the open, object-safe compatibility path, while a concrete type such as
+/// [`btbx_core::BtbEngine`] monomorphizes every probe on the hot path.
+pub struct Bpu<B: Btb = Box<dyn Btb>> {
+    btb: B,
     dir: HashedPerceptron,
     ras: ReturnAddressStack,
     decode_resteer_enabled: bool,
     stats: BpuStats,
 }
 
-impl Bpu {
+impl<B: Btb> Bpu<B> {
     /// Assemble a BPU around a BTB organization.
-    pub fn new(btb: Box<dyn Btb>, ras_entries: usize, decode_resteer: bool) -> Self {
+    pub fn new(btb: B, ras_entries: usize, decode_resteer: bool) -> Self {
         Bpu {
             btb,
             dir: HashedPerceptron::new(),
@@ -126,8 +144,8 @@ impl Bpu {
     }
 
     /// Borrow the underlying BTB (for storage/energy reporting).
-    pub fn btb(&self) -> &dyn Btb {
-        &*self.btb
+    pub fn btb(&self) -> &B {
+        &self.btb
     }
 
     /// Accumulated statistics.
@@ -296,7 +314,7 @@ impl Bpu {
     }
 }
 
-impl std::fmt::Debug for Bpu {
+impl<B: Btb> std::fmt::Debug for Bpu<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Bpu")
             .field("btb", &self.btb.name())

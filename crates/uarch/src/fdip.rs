@@ -20,6 +20,14 @@ pub struct FdipStats {
     pub scanned: u64,
 }
 
+impl FdipStats {
+    /// Merge counters from another window (shard aggregation).
+    pub fn merge(&mut self, o: &FdipStats) {
+        self.issued += o.issued;
+        self.scanned += o.scanned;
+    }
+}
+
 /// The prefetch engine.
 #[derive(Debug, Clone)]
 pub struct Fdip {

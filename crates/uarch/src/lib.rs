@@ -25,7 +25,9 @@
 //! * [`fdip`] — the fetch-directed instruction prefetcher scanning the
 //!   FTQ;
 //! * [`sim`] — the cycle loop tying everything together;
-//! * [`stats`] — IPC, MPKI, flush and energy-relevant access statistics.
+//! * [`stats`] — IPC, MPKI, flush and energy-relevant access statistics;
+//! * [`runner`] — the panic-safe work-queue thread pool;
+//! * [`parallel`] — interval-sharded replay of one run across the pool.
 //!
 //! # Model fidelity
 //!
@@ -44,13 +46,16 @@ pub mod config;
 pub mod fdip;
 pub mod ftq;
 pub mod hierarchy;
+pub mod parallel;
 pub mod perceptron;
 pub mod ras;
+pub mod runner;
 pub mod session;
 pub mod sim;
 pub mod stats;
 
 pub use config::SimConfig;
+pub use parallel::{ParallelOutcome, ParallelSession};
 pub use session::{IntervalStats, SessionError, SimSession};
 pub use sim::{simulate, Simulator};
 pub use stats::{SimResult, SimStats};

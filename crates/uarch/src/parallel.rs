@@ -1,0 +1,490 @@
+//! Interval-sharded simulation: split one run's measurement window into
+//! `K` trace shards, replay them on the [`crate::runner`] thread pool, and
+//! deterministically merge the results.
+//!
+//! # How a shard replays
+//!
+//! A serial run warms `W` instructions and measures `M`. A sharded run
+//! splits `[W, W + M)` into `K` contiguous chunks at exact
+//! trace-instruction boundaries. Shard `i` rebuilds state for its chunk by
+//! simulating a bounded **warm-up carry-in** of `C` instructions
+//! immediately before its chunk:
+//!
+//! ```text
+//! shard i:  carry-in C (warm-up)  →  measure M/K     over trace
+//!           [W + i·M/K − C, W + (i+1)·M/K)
+//! ```
+//!
+//! The windows are materialized by **one shared generation pass** over
+//! the trace (plus a short tail so pipelines drain exactly as they would
+//! mid-stream), so trace generation is paid once — not once per shard —
+//! and the simulated work drops from `W + M` to `K·C + M`. That work
+//! reduction wins wall-clock even on one core when `K·C < W`, and the
+//! shards then parallelize perfectly across cores. The buffered windows
+//! cost `(K·C + M) × sizeof(TraceInstr)` bytes of memory.
+//!
+//! # Determinism and serial equivalence
+//!
+//! The merge is a pure, order-independent reduction over per-shard
+//! counters, so a sharded run is byte-identical across repetitions and
+//! thread schedules. Equivalence with a *serial* [`SimSession`] holds:
+//!
+//! * **always** for `shards = 1` with the default carry-in — the shard
+//!   replays exactly the serial session;
+//! * **exactly** for `shards > 1` when the carry-in fully converges
+//!   microarchitectural state before each chunk (the workload's working
+//!   set fits the modelled structures and `C` covers its steady state, as
+//!   in the synthetic loop suites — pinned by
+//!   `tests/parallel_determinism.rs`);
+//! * **approximately** otherwise: each shard measures its exact chunk of
+//!   the trace, but state at a chunk boundary reflects `C` instructions of
+//!   history instead of the full prefix, perturbing boundary-local counts.
+//!
+//! See EXPERIMENTS.md ("Interval sharding") for the user-facing contract.
+
+use crate::runner::run_named_jobs;
+use crate::session::{IntervalStats, SessionError, SimSession};
+use crate::stats::SimResult;
+use crate::SimConfig;
+use btbx_core::spec::BtbSpec;
+use btbx_trace::record::TraceInstr;
+use btbx_trace::source::VecSource;
+use btbx_trace::TraceSource;
+
+/// Instructions buffered past a shard's measurement window so the
+/// front-end drains exactly as it would mid-stream. Fetch can run ahead
+/// of commit by at most the FTQ plus the ROB plus one fetch group —
+/// well under this.
+const TAIL_SLACK: u64 = 4096;
+
+/// Outcome of a sharded run: the merged result plus the merged
+/// per-interval statistics stream.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Merged simulation result (counters summed over shards, derived
+    /// metrics recomputed).
+    pub result: SimResult,
+    /// Global interval stream: shard-local intervals re-indexed and
+    /// re-accumulated in trace order, matching what a serial
+    /// [`SimSession::every`] observer would see under the equivalence
+    /// conditions above.
+    pub intervals: Vec<IntervalStats>,
+}
+
+/// Builder for an interval-sharded simulation of one workload.
+///
+/// `factory` must produce a fresh, identical trace stream per call (every
+/// [`btbx_trace::suite::WorkloadSpec`] and any `Clone` source qualifies);
+/// each shard consumes its own stream from the beginning.
+pub struct ParallelSession<F> {
+    factory: F,
+    spec: BtbSpec,
+    config: SimConfig,
+    label: Option<String>,
+    warmup: u64,
+    measure: u64,
+    shards: usize,
+    carry_in: Option<u64>,
+    interval: Option<u64>,
+    threads: usize,
+}
+
+impl<S, F> ParallelSession<F>
+where
+    S: TraceSource + Send,
+    F: Fn() -> S + Sync,
+{
+    /// Start a sharded session: `factory` yields one trace stream per
+    /// shard, `spec` describes the BTB under test.
+    ///
+    /// Defaults: Table II config, no warm-up, 1 shard, carry-in equal to
+    /// the warm-up, one interval per shard, one thread per shard (capped
+    /// at the host's parallelism).
+    pub fn new(factory: F, spec: BtbSpec) -> Self {
+        ParallelSession {
+            factory,
+            spec,
+            config: SimConfig::default(),
+            label: None,
+            warmup: 0,
+            measure: u64::MAX,
+            shards: 1,
+            carry_in: None,
+            interval: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Replace the whole simulator configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the organization label recorded in the result.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Serial-equivalent warm-up: the measurement window starts after this
+    /// many committed instructions.
+    pub fn warmup(mut self, instructions: u64) -> Self {
+        self.warmup = instructions;
+        self
+    }
+
+    /// Total measured instructions. Must be finite to shard.
+    pub fn measure(mut self, instructions: u64) -> Self {
+        self.measure = instructions;
+        self
+    }
+
+    /// Number of shards `K` (0 is treated as 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Simulated warm-up carry-in per shard (default: the full `warmup`,
+    /// the most conservative setting). Smaller values trade boundary
+    /// accuracy for speed; the skipped prefix is never simulated.
+    pub fn carry_in(mut self, instructions: u64) -> Self {
+        self.carry_in = Some(instructions);
+        self
+    }
+
+    /// Emit merged [`IntervalStats`] every `interval` measured
+    /// instructions (default: one interval per shard chunk). For aligned
+    /// boundaries use an interval that divides the chunk size.
+    pub fn every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        self.interval = Some(interval);
+        self
+    }
+
+    /// Cap worker threads (default: host parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Run every shard and merge.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Spec`] when the BTB spec does not validate and
+    /// [`SessionError::UnboundedMeasure`] when more than one shard is
+    /// requested without a finite [`measure`](Self::measure) window.
+    pub fn run(self) -> Result<ParallelOutcome, SessionError> {
+        self.spec.validate().map_err(SessionError::Spec)?;
+        if self.measure == u64::MAX && self.shards > 1 {
+            return Err(SessionError::UnboundedMeasure);
+        }
+        let shards = if self.measure == u64::MAX {
+            1
+        } else {
+            // Never create empty shards.
+            self.shards.min(self.measure.max(1) as usize).max(1)
+        };
+        let spec = self.spec;
+        let interval = self.interval;
+
+        if shards == 1 {
+            // Streamed directly: no buffering, and `measure` may be
+            // unbounded. This is exactly the serial session.
+            let mut intervals = Vec::new();
+            let mut session = SimSession::new((self.factory)())
+                .btb_spec(spec)
+                .config(self.config.clone())
+                .warmup(self.warmup)
+                .measure(self.measure);
+            if let Some(l) = &self.label {
+                session = session.label(l.clone());
+            }
+            let result = session
+                .every(interval.unwrap_or(self.measure).min(self.measure), |iv| {
+                    intervals.push(*iv)
+                })
+                .run()
+                .expect("spec validated above");
+            return Ok(ParallelOutcome { result, intervals });
+        }
+
+        let chunk = self.measure.div_ceil(shards as u64);
+        // Rounding `chunk` up can leave the tail shards with nothing to
+        // measure (e.g. measure 10 over 7 shards → chunk 2 covers the
+        // window in 5); drop the empty tail so every shard measures at
+        // least one instruction.
+        let shards = self.measure.div_ceil(chunk) as usize;
+        let carry = self.carry_in.unwrap_or(self.warmup);
+
+        // One shared generation pass materializes every shard's
+        // carry-in + chunk (+ drain tail) window: trace generation is
+        // paid once, not once per shard.
+        struct ShardPlan {
+            lo: u64,
+            start: u64,
+            measure: u64,
+            window: Vec<TraceInstr>,
+        }
+        let mut plans: Vec<ShardPlan> = (0..shards as u64)
+            .map(|i| {
+                let start = self.warmup + i * chunk;
+                let measure = chunk.min(self.measure - i * chunk);
+                let lo = start.saturating_sub(carry);
+                ShardPlan {
+                    lo,
+                    start,
+                    measure,
+                    window: Vec::with_capacity((start - lo + measure) as usize + 64),
+                }
+            })
+            .collect();
+        let mut source = (self.factory)();
+        let trace_name = source.source_name().to_string();
+        let last_hi = {
+            let last = plans.last().expect("at least one shard");
+            (last.start + last.measure).saturating_add(TAIL_SLACK)
+        };
+        // `lo` and the window ends are both non-decreasing in shard
+        // index, so the shards covering position `g` are a sliding
+        // contiguous range [active, upto).
+        let (mut active, mut upto) = (0usize, 0usize);
+        for g in 0..last_hi {
+            let Some(instr) = source.next_instr() else {
+                break;
+            };
+            while upto < plans.len() && plans[upto].lo <= g {
+                upto += 1;
+            }
+            while active < upto
+                && g >= (plans[active].start + plans[active].measure).saturating_add(TAIL_SLACK)
+            {
+                active += 1;
+            }
+            for plan in &mut plans[active..upto] {
+                plan.window.push(instr);
+            }
+        }
+
+        let config = &self.config;
+        let label = &self.label;
+        let name = &trace_name;
+        let jobs: Vec<(String, _)> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let job = move || {
+                    let mut intervals = Vec::new();
+                    let mut session = SimSession::new(VecSource::new(name.clone(), plan.window))
+                        .btb_spec(spec)
+                        .config(config.clone())
+                        .warmup(plan.start - plan.lo)
+                        .measure(plan.measure);
+                    if let Some(l) = label {
+                        session = session.label(l.clone());
+                    }
+                    let result = session
+                        .every(interval.unwrap_or(plan.measure).min(plan.measure), |iv| {
+                            intervals.push(*iv)
+                        })
+                        .run()
+                        .expect("spec validated before sharding");
+                    (result, intervals)
+                };
+                (format!("shard{i}"), job)
+            })
+            .collect();
+
+        let pool_label = self
+            .label
+            .clone()
+            .unwrap_or_else(|| spec.org.id().to_string());
+        let shard_outputs = run_named_jobs(&pool_label, self.threads.min(shards), jobs);
+        Ok(merge(shard_outputs))
+    }
+}
+
+/// Deterministically merge per-shard results and interval streams in
+/// shard (= trace) order.
+fn merge(shards: Vec<(SimResult, Vec<IntervalStats>)>) -> ParallelOutcome {
+    let mut iter = shards.into_iter();
+    let (mut result, first_intervals) = iter.next().expect("at least one shard");
+    let mut intervals: Vec<IntervalStats> = first_intervals;
+
+    for (shard_result, shard_intervals) in iter {
+        // Re-accumulate the shard's cumulative fields on top of the
+        // global totals so far.
+        let (base_instr, base_cycles, base_bpu) = intervals
+            .last()
+            .map(|iv| (iv.instructions, iv.cycles, iv.bpu))
+            .unwrap_or_default();
+        for iv in &shard_intervals {
+            intervals.push(IntervalStats {
+                index: intervals.len() as u64,
+                instructions: base_instr + iv.instructions,
+                cycles: base_cycles + iv.cycles,
+                delta_instructions: iv.delta_instructions,
+                delta_cycles: iv.delta_cycles,
+                bpu: {
+                    let mut b = base_bpu;
+                    b.merge(&iv.bpu);
+                    b
+                },
+            });
+        }
+        result.stats.merge(&shard_result.stats);
+    }
+    ParallelOutcome { result, intervals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_core::storage::BudgetPoint;
+    use btbx_core::OrgKind;
+    use btbx_trace::record::TraceInstr;
+    use btbx_trace::source::VecSource;
+
+    fn straight_line(n: u64) -> VecSource {
+        VecSource::new(
+            "line",
+            (0..n)
+                .map(|i| TraceInstr::other(0x1000 + i * 4, 4))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn one_shard_equals_serial_session() {
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8);
+        let sharded = ParallelSession::new(|| straight_line(60_000), spec)
+            .config(SimConfig::without_fdip())
+            .warmup(5_000)
+            .measure(30_000)
+            .run()
+            .unwrap();
+        let serial = SimSession::new(straight_line(60_000))
+            .btb_spec(spec)
+            .fdip(false)
+            .warmup(5_000)
+            .measure(30_000)
+            .run()
+            .unwrap();
+        assert_eq!(sharded.result.stats.instructions, serial.stats.instructions);
+        assert_eq!(sharded.result.stats.cycles, serial.stats.cycles);
+        assert_eq!(sharded.result.stats.bpu, serial.stats.bpu);
+        assert_eq!(sharded.result.org, serial.org);
+        assert_eq!(sharded.intervals.len(), 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_reported() {
+        let spec = BtbSpec::of(OrgKind::BtbX).budget_bits(3);
+        let err = ParallelSession::new(|| straight_line(100), spec)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Spec(_)), "{err}");
+    }
+
+    #[test]
+    fn unbounded_measure_cannot_shard() {
+        let spec = BtbSpec::of(OrgKind::Conv);
+        let err = ParallelSession::new(|| straight_line(100), spec)
+            .shards(4)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::UnboundedMeasure);
+    }
+
+    #[test]
+    fn unbounded_measure_single_shard_runs_to_trace_end() {
+        let spec = BtbSpec::of(OrgKind::Conv);
+        let out = ParallelSession::new(|| straight_line(5_000), spec)
+            .config(SimConfig::without_fdip())
+            .run()
+            .unwrap();
+        assert!(out.result.stats.instructions > 0);
+        assert!(out.result.stats.instructions <= 5_000);
+    }
+
+    #[test]
+    fn shard_instruction_coverage_is_exact() {
+        // Whatever the boundary effects, the measured instruction count
+        // must cover the requested window (each shard measures its chunk,
+        // possibly overshooting by < commit width).
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8);
+        let out = ParallelSession::new(|| straight_line(200_000), spec)
+            .config(SimConfig::without_fdip())
+            .warmup(10_000)
+            .measure(80_000)
+            .shards(4)
+            .carry_in(2_000)
+            .run()
+            .unwrap();
+        assert!(out.result.stats.instructions >= 80_000);
+        assert!(out.result.stats.instructions < 80_000 + 4 * 6);
+        assert_eq!(out.intervals.len(), 4);
+        let sum: u64 = out.intervals.iter().map(|iv| iv.delta_instructions).sum();
+        assert_eq!(sum, out.result.stats.instructions);
+        let last = out.intervals.last().unwrap();
+        assert_eq!(last.instructions, out.result.stats.instructions);
+        assert_eq!(last.cycles, out.result.stats.cycles);
+        for (i, iv) in out.intervals.iter().enumerate() {
+            assert_eq!(iv.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn tiny_measure_with_many_shards_partitions_cleanly() {
+        // Regression: chunk rounding used to leave tail shards with
+        // `measure - i * chunk` underflowing (or zero instructions to
+        // measure); the empty tail must be dropped instead.
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8);
+        for (measure, shards) in [(10u64, 7usize), (10, 6), (10, 16), (1, 4), (3, 2)] {
+            let out = ParallelSession::new(|| straight_line(50_000), spec)
+                .config(SimConfig::without_fdip())
+                .warmup(64)
+                .measure(measure)
+                .shards(shards)
+                .run()
+                .unwrap_or_else(|e| panic!("measure {measure} over {shards} shards: {e}"));
+            assert!(
+                out.result.stats.instructions >= measure,
+                "measure {measure} over {shards} shards under-covered"
+            );
+            let sum: u64 = out.intervals.iter().map(|iv| iv.delta_instructions).sum();
+            assert_eq!(sum, out.result.stats.instructions, "{measure}/{shards}");
+        }
+    }
+
+    #[test]
+    fn reruns_are_byte_identical() {
+        let spec = BtbSpec::of(OrgKind::BtbX).at(BudgetPoint::Kb3_6);
+        let run = || {
+            ParallelSession::new(|| straight_line(150_000), spec)
+                .config(SimConfig::without_fdip())
+                .warmup(8_000)
+                .measure(60_000)
+                .shards(3)
+                .carry_in(1_000)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.result.stats.instructions, b.result.stats.instructions);
+        assert_eq!(a.result.stats.cycles, b.result.stats.cycles);
+        assert_eq!(a.result.stats.bpu, b.result.stats.bpu);
+        assert_eq!(a.result.stats.btb_counts, b.result.stats.btb_counts);
+        assert_eq!(a.intervals.len(), b.intervals.len());
+        for (x, y) in a.intervals.iter().zip(&b.intervals) {
+            assert_eq!(x.instructions, y.instructions);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.bpu, y.bpu);
+        }
+    }
+}

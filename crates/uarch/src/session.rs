@@ -78,13 +78,16 @@ impl IntervalStats {
     }
 }
 
-/// Why a [`SimSession`] cannot run.
+/// Why a [`SimSession`] (or [`crate::parallel::ParallelSession`]) cannot
+/// run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionError {
     /// Neither [`SimSession::btb`] nor [`SimSession::btb_spec`] was called.
     NoBtb,
     /// The configured [`BtbSpec`] does not validate.
     Spec(SpecError),
+    /// A sharded session needs a finite measurement window to split.
+    UnboundedMeasure,
 }
 
 impl std::fmt::Display for SessionError {
@@ -94,6 +97,12 @@ impl std::fmt::Display for SessionError {
                 write!(f, "session has no BTB: call .btb(...) or .btb_spec(...)")
             }
             SessionError::Spec(e) => write!(f, "invalid BTB spec: {e}"),
+            SessionError::UnboundedMeasure => {
+                write!(
+                    f,
+                    "sharded sessions need a finite .measure(...) window to split"
+                )
+            }
         }
     }
 }
@@ -106,10 +115,10 @@ impl From<SpecError> for SessionError {
     }
 }
 
-enum BtbSource {
+enum BtbSource<B> {
     None,
     Instance {
-        btb: Box<dyn Btb>,
+        btb: B,
         label: String,
         budget_bits: u64,
     },
@@ -122,9 +131,15 @@ type Observer<'a> = (u64, Box<dyn FnMut(&IntervalStats) + 'a>);
 ///
 /// Defaults: Table II config with FDIP enabled, no warm-up, measurement to
 /// the end of the trace, no interval streaming.
-pub struct SimSession<'a, S> {
+///
+/// The session is generic over the BTB representation `B`. Spec-driven
+/// sessions ([`btb_spec`](Self::btb_spec)) build a statically dispatched
+/// [`btbx_core::BtbEngine`] regardless of `B`, so the common path pays no
+/// virtual call per event; [`btb`](Self::btb) accepts any [`Btb`]
+/// instance — boxed or concrete — as the compatibility path.
+pub struct SimSession<'a, S, B: Btb = Box<dyn Btb>> {
     trace: S,
-    btb: BtbSource,
+    btb: BtbSource<B>,
     config: SimConfig,
     warmup: u64,
     measure: u64,
@@ -145,23 +160,34 @@ impl<'a, S: TraceSource> SimSession<'a, S> {
             observer: None,
         }
     }
+}
 
-    /// Use an already-built BTB instance. Its reported storage is recorded
-    /// as the budget; prefer [`btb_spec`](Self::btb_spec) for validated,
-    /// declarative construction.
-    pub fn btb(mut self, btb: Box<dyn Btb>) -> Self {
+impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
+    /// Use an already-built BTB instance — `Box<dyn Btb>` or any concrete
+    /// [`Btb`] such as [`btbx_core::BtbEngine`]. Its reported storage is
+    /// recorded as the budget; prefer [`btb_spec`](Self::btb_spec) for
+    /// validated, declarative construction.
+    pub fn btb<B2: Btb>(self, btb: B2) -> SimSession<'a, S, B2> {
         let label = btb.name().to_string();
         let budget_bits = btb.storage().total_bits;
-        self.btb = BtbSource::Instance {
-            btb,
-            label,
-            budget_bits,
-        };
-        self
+        SimSession {
+            trace: self.trace,
+            btb: BtbSource::Instance {
+                btb,
+                label,
+                budget_bits,
+            },
+            config: self.config,
+            warmup: self.warmup,
+            measure: self.measure,
+            label: self.label,
+            observer: self.observer,
+        }
     }
 
     /// Build the BTB from a validated spec at [`run`](Self::run) time; the
-    /// spec's nominal budget is recorded in the result.
+    /// spec's nominal budget is recorded in the result. The instance is a
+    /// statically dispatched [`btbx_core::BtbEngine`].
     pub fn btb_spec(mut self, spec: BtbSpec) -> Self {
         self.btb = BtbSource::Spec(spec);
         self
@@ -214,31 +240,62 @@ impl<'a, S: TraceSource> SimSession<'a, S> {
     /// [`SessionError::NoBtb`] when no BTB was configured and
     /// [`SessionError::Spec`] when the configured spec does not validate.
     pub fn run(self) -> Result<SimResult, SessionError> {
-        let (btb, default_label, budget_bits) = match self.btb {
-            BtbSource::None => return Err(SessionError::NoBtb),
+        match self.btb {
+            BtbSource::None => Err(SessionError::NoBtb),
             BtbSource::Instance {
                 btb,
                 label,
                 budget_bits,
-            } => (btb, label, budget_bits),
+            } => Ok(run_with(
+                btb,
+                self.label.unwrap_or(label),
+                budget_bits,
+                self.config,
+                self.trace,
+                self.warmup,
+                self.measure,
+                self.observer,
+            )),
             BtbSource::Spec(spec) => {
-                let btb = spec.build()?;
-                (btb, spec.org.id().to_string(), spec.bits())
+                // Static dispatch: the engine monomorphizes the hot path.
+                let engine = spec.build_engine()?;
+                Ok(run_with(
+                    engine,
+                    self.label.unwrap_or_else(|| spec.org.id().to_string()),
+                    spec.bits(),
+                    self.config,
+                    self.trace,
+                    self.warmup,
+                    self.measure,
+                    self.observer,
+                ))
             }
-        };
-        let label = self.label.unwrap_or(default_label);
-        let bpu = Bpu::new(btb, self.config.ras_entries, self.config.decode_resteer);
-        let sim = Simulator::new(self.config, self.trace, bpu, label, budget_bits);
-        let mut observer = self.observer;
-        let interval = observer.as_ref().map(|(n, _)| *n);
-        let mut result = sim.run_observed(self.warmup, self.measure, interval, &mut |iv| {
-            if let Some((_, cb)) = observer.as_mut() {
-                cb(iv);
-            }
-        });
-        result.btb_budget_bits = budget_bits;
-        Ok(result)
+        }
     }
+}
+
+/// Shared back half of [`SimSession::run`], monomorphized per BTB type.
+#[allow(clippy::too_many_arguments)]
+fn run_with<S: TraceSource, B: Btb>(
+    btb: B,
+    label: String,
+    budget_bits: u64,
+    config: SimConfig,
+    trace: S,
+    warmup: u64,
+    measure: u64,
+    mut observer: Option<Observer<'_>>,
+) -> SimResult {
+    let bpu = Bpu::new(btb, config.ras_entries, config.decode_resteer);
+    let sim = Simulator::new(config, trace, bpu, label, budget_bits);
+    let interval = observer.as_ref().map(|(n, _)| *n);
+    let mut result = sim.run_observed(warmup, measure, interval, &mut |iv| {
+        if let Some((_, cb)) = observer.as_mut() {
+            cb(iv);
+        }
+    });
+    result.btb_budget_bits = budget_bits;
+    result
 }
 
 #[cfg(test)]

@@ -42,10 +42,15 @@ enum BpuState {
 }
 
 /// A configured simulation of one workload on one BTB organization.
-pub struct Simulator<S> {
+///
+/// Generic over the trace source and the BTB representation: with a
+/// concrete `B` (e.g. [`btbx_core::BtbEngine`]) every per-event BTB probe
+/// is statically dispatched; `Box<dyn Btb>` remains the compatibility
+/// path for out-of-tree organizations.
+pub struct Simulator<S, B: btbx_core::Btb = Box<dyn btbx_core::Btb>> {
     config: SimConfig,
     trace: S,
-    bpu: Bpu,
+    bpu: Bpu<B>,
     ftq: Ftq,
     hierarchy: Hierarchy,
     fdip: Option<Fdip>,
@@ -67,13 +72,13 @@ pub struct Simulator<S> {
     budget_bits: u64,
 }
 
-impl<S: TraceSource> Simulator<S> {
+impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
     /// Assemble a simulator. `bpu` carries the BTB under test; `org_id`
     /// and `budget_bits` are recorded in the result for reporting.
     pub fn new(
         config: SimConfig,
         trace: S,
-        bpu: Bpu,
+        bpu: Bpu<B>,
         org_id: impl Into<String>,
         budget_bits: u64,
     ) -> Self {
@@ -396,7 +401,7 @@ impl<S: TraceSource> Simulator<S> {
     }
 }
 
-impl<S: TraceSource> std::fmt::Debug for Simulator<S> {
+impl<S: TraceSource, B: btbx_core::Btb> std::fmt::Debug for Simulator<S, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("cycle", &self.cycle)
@@ -407,12 +412,14 @@ impl<S: TraceSource> std::fmt::Debug for Simulator<S> {
 }
 
 /// Positional convenience over [`crate::session::SimSession`]: run
-/// `trace` against an already-built BTB. Prefer the session builder for
-/// new code — it validates specs and exposes interval streaming.
-pub fn simulate<S: TraceSource>(
+/// `trace` against an already-built BTB — boxed (`Box<dyn Btb>`) or
+/// concrete (e.g. [`btbx_core::BtbEngine`], which dispatches statically).
+/// Prefer the session builder for new code — it validates specs and
+/// exposes interval streaming.
+pub fn simulate<S: TraceSource, B: btbx_core::Btb>(
     config: SimConfig,
     trace: S,
-    btb: Box<dyn btbx_core::Btb>,
+    btb: B,
     org_id: &str,
     warmup: u64,
     measure: u64,

@@ -82,6 +82,26 @@ impl SimStats {
     pub fn btb_reads_for_energy(&self) -> u64 {
         self.btb_counts.reads + self.wrong_path_btb_reads
     }
+
+    /// Merge every counter from another measurement window — the
+    /// deterministic reduction [`crate::parallel::ParallelSession`] uses
+    /// to combine shard results (derived metrics like IPC are recomputed
+    /// from the merged counters, never averaged).
+    pub fn merge(&mut self, o: &SimStats) {
+        self.instructions += o.instructions;
+        self.cycles += o.cycles;
+        self.bpu.merge(&o.bpu);
+        self.l1i.merge(&o.l1i);
+        self.l1d.merge(&o.l1d);
+        self.l2.merge(&o.l2);
+        self.llc.merge(&o.llc);
+        self.fdip.merge(&o.fdip);
+        self.btb_counts.merge(&o.btb_counts);
+        self.bubble_cycles += o.bubble_cycles;
+        self.fetch_starved_cycles += o.fetch_starved_cycles;
+        self.rob_full_cycles += o.rob_full_cycles;
+        self.wrong_path_btb_reads += o.wrong_path_btb_reads;
+    }
 }
 
 /// A finished simulation: workload/organization identity plus statistics.

@@ -1,0 +1,217 @@
+//! Differential test harness: the statically dispatched `BtbEngine` and
+//! the legacy `Box<dyn Btb>` factory path must be two views of the same
+//! machine. Identical event streams are replayed through both for every
+//! `OrgKind` at several budgets, asserting identical per-event outcomes
+//! (hit/miss, predicted target, hit site) and identical final statistics.
+//! Any divergence means the fast path no longer simulates the paper's
+//! organizations.
+
+use btbx::core::storage::BudgetPoint;
+use btbx::core::types::{Arch, BranchClass, BranchEvent};
+use btbx::core::{factory, Btb, BtbEngine, BtbSpec, OrgKind};
+use btbx::trace::suite;
+use btbx::uarch::{SimConfig, SimSession, SimStats};
+
+const BUDGETS: [BudgetPoint; 3] = [BudgetPoint::Kb0_9, BudgetPoint::Kb3_6, BudgetPoint::Kb14_5];
+
+/// Deterministic xorshift64* stream; the same seed always reproduces the
+/// same event sequence, so failures are replayable.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A stream mixing hot re-references (a bounded PC pool forces hits,
+/// replacement and aliasing) with every branch class, short and
+/// cross-page offsets, and occasional not-taken conditionals.
+fn event_stream(seed: u64, len: usize) -> Vec<BranchEvent> {
+    let mut rng = Rng(seed | 1);
+    let pool: Vec<u64> = (0..512)
+        .map(|_| (rng.next() & ((1 << 40) - 1)) & !3)
+        .collect();
+    (0..len)
+        .map(|_| {
+            let pc = pool[rng.below(pool.len() as u64) as usize];
+            let class = match rng.below(10) {
+                0..=4 => BranchClass::CondDirect,
+                5 => BranchClass::UncondDirect,
+                6 => BranchClass::CallDirect,
+                7 => BranchClass::CallIndirect,
+                8 => BranchClass::Return,
+                _ => BranchClass::UncondIndirect,
+            };
+            let offset = match rng.below(10) {
+                0..=5 => 4 + (rng.below(1 << 10) << 2),         // same page
+                6..=8 => (1 << 14) + (rng.below(1 << 18) << 2), // cross page
+                _ => (1 << 27) + (rng.below(1 << 12) << 2),     // overflow-length
+            };
+            let target = if rng.below(2) == 0 {
+                pc.wrapping_add(offset) & ((1 << 48) - 1) & !3
+            } else {
+                pc.saturating_sub(offset) & !3
+            };
+            let taken = class != BranchClass::CondDirect || rng.below(4) != 0;
+            BranchEvent {
+                pc,
+                target,
+                class,
+                taken,
+            }
+        })
+        .collect()
+}
+
+/// Drive both paths through the BPU's per-event protocol — probe, consume
+/// the predicted target, commit the update — and compare at every step.
+fn replay_differential(kind: OrgKind, budget: BudgetPoint, events: &[BranchEvent]) {
+    let bits = budget.bits(Arch::Arm64);
+    let mut engine = BtbEngine::build(kind, bits, Arch::Arm64);
+    let mut boxed = factory::build(kind, bits, Arch::Arm64);
+
+    for (i, ev) in events.iter().enumerate() {
+        let fast = engine.lookup(ev.pc);
+        let compat = boxed.lookup(ev.pc);
+        assert_eq!(
+            fast, compat,
+            "{kind} at {budget}: lookup diverged at event {i} (pc {:#x})",
+            ev.pc
+        );
+        if ev.taken {
+            if let (Some(f), Some(c)) = (fast, compat) {
+                engine.note_target_consumed(&f);
+                boxed.note_target_consumed(&c);
+            }
+        }
+        engine.update(ev);
+        boxed.update(ev);
+        if i % 512 == 0 {
+            assert_eq!(
+                engine.counts(),
+                boxed.counts(),
+                "{kind} at {budget}: counters diverged by event {i}"
+            );
+        }
+    }
+
+    assert_eq!(
+        engine.counts(),
+        boxed.counts(),
+        "{kind} at {budget}: final counters diverged"
+    );
+    let (es, bs) = (engine.storage(), boxed.storage());
+    assert_eq!(es.total_bits, bs.total_bits, "{kind} at {budget}");
+    assert_eq!(es.branch_capacity, bs.branch_capacity, "{kind} at {budget}");
+    assert_eq!(engine.name(), boxed.name(), "{kind}");
+    assert_eq!(engine.branch_capacity(), boxed.branch_capacity(), "{kind}");
+}
+
+#[test]
+fn every_org_and_budget_replays_identically() {
+    for kind in OrgKind::ALL {
+        for budget in BUDGETS {
+            // Seed per (org, budget) so each combination sees a distinct
+            // stream while staying reproducible.
+            let seed = 0x9e37_79b9_7f4a_7c15 ^ ((kind as u64) << 8) ^ budget.bits(Arch::Arm64);
+            let events = event_stream(seed, 4_000);
+            replay_differential(kind, budget, &events);
+        }
+    }
+}
+
+#[test]
+fn clear_and_reset_keep_the_paths_in_lockstep() {
+    for kind in OrgKind::ALL {
+        let bits = BudgetPoint::Kb1_8.bits(Arch::Arm64);
+        let mut engine = BtbEngine::build(kind, bits, Arch::Arm64);
+        let mut boxed = factory::build(kind, bits, Arch::Arm64);
+        let events = event_stream(0xabcd ^ kind as u64, 1_500);
+        let (first, second) = events.split_at(events.len() / 2);
+
+        for ev in first {
+            engine.update(ev);
+            boxed.update(ev);
+            assert_eq!(engine.lookup(ev.pc), boxed.lookup(ev.pc), "{kind}");
+        }
+        engine.clear();
+        boxed.clear();
+        engine.reset_counts();
+        boxed.reset_counts();
+        assert_eq!(engine.counts(), boxed.counts(), "{kind}: post-reset");
+
+        // Everything inserted before the clear must miss identically, and
+        // the replay afterwards must stay in lockstep.
+        for ev in first.iter().take(64) {
+            let (f, c) = (engine.lookup(ev.pc), boxed.lookup(ev.pc));
+            assert_eq!(f, c, "{kind}: post-clear lookups diverged");
+        }
+        for ev in second {
+            engine.update(ev);
+            boxed.update(ev);
+            assert_eq!(engine.lookup(ev.pc), boxed.lookup(ev.pc), "{kind}");
+        }
+        assert_eq!(engine.counts(), boxed.counts(), "{kind}: final");
+    }
+}
+
+fn assert_stats_identical(kind: OrgKind, fast: &SimStats, compat: &SimStats) {
+    assert_eq!(fast.instructions, compat.instructions, "{kind}");
+    assert_eq!(fast.cycles, compat.cycles, "{kind}");
+    assert_eq!(fast.bpu, compat.bpu, "{kind}");
+    assert_eq!(fast.btb_counts, compat.btb_counts, "{kind}");
+    assert_eq!(fast.l1i, compat.l1i, "{kind}");
+    assert_eq!(fast.l1d, compat.l1d, "{kind}");
+    assert_eq!(fast.l2, compat.l2, "{kind}");
+    assert_eq!(fast.llc, compat.llc, "{kind}");
+    assert_eq!(fast.fdip, compat.fdip, "{kind}");
+    assert_eq!(fast.bubble_cycles, compat.bubble_cycles, "{kind}");
+    assert_eq!(
+        fast.fetch_starved_cycles, compat.fetch_starved_cycles,
+        "{kind}"
+    );
+    assert_eq!(fast.rob_full_cycles, compat.rob_full_cycles, "{kind}");
+    assert_eq!(
+        fast.wrong_path_btb_reads, compat.wrong_path_btb_reads,
+        "{kind}"
+    );
+}
+
+/// The end-to-end check: a spec-driven session (which builds a
+/// `BtbEngine` internally) and an instance session around the boxed
+/// factory build must produce bit-identical cycle-level results.
+#[test]
+fn full_simulation_is_identical_across_dispatch_paths() {
+    let workload = &suite::ipc1_client()[2];
+    for kind in OrgKind::ALL {
+        let spec = BtbSpec::of(kind).at(BudgetPoint::Kb3_6);
+        let fast = SimSession::new(workload.build_trace())
+            .btb_spec(spec)
+            .config(SimConfig::with_fdip())
+            .warmup(20_000)
+            .measure(40_000)
+            .run()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let compat = SimSession::new(workload.build_trace())
+            .btb(spec.build().unwrap_or_else(|e| panic!("{kind}: {e}")))
+            .config(SimConfig::with_fdip())
+            .label(kind.id())
+            .warmup(20_000)
+            .measure(40_000)
+            .run()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_stats_identical(kind, &fast.stats, &compat.stats);
+        assert_eq!(fast.org, compat.org, "{kind}");
+        assert_eq!(fast.fdip_enabled, compat.fdip_enabled, "{kind}");
+    }
+}
