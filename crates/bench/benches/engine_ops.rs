@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the statically dispatched
+//! [`BtbEngine`]: per-organization `lookup` and `update` cost at the
+//! paper's 14.5 KB budget, across every `OrgKind` (including the
+//! ablations and the idealized infinite BTB, whose hash-map probe rides
+//! on the in-repo Fx hasher). The companion `btb_ops` bench measures the
+//! same operations through the boxed `dyn Btb` compatibility path; the
+//! gap between the two is the dispatch cost the engine exists to remove.
+
+use btbx_core::storage::BudgetPoint;
+use btbx_core::types::{Arch, BranchClass, BranchEvent};
+use btbx_core::{BtbEngine, OrgKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn branch_stream(n: usize) -> Vec<BranchEvent> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            let pc = rng.gen_range(0x10_0000u64..0x40_0000) & !3;
+            let dist = 4u64 << rng.gen_range(0..18);
+            let class = match rng.gen_range(0..10) {
+                0..=5 => BranchClass::CondDirect,
+                6..=7 => BranchClass::CallDirect,
+                8 => BranchClass::Return,
+                _ => BranchClass::UncondDirect,
+            };
+            BranchEvent::taken(pc, pc + dist, class)
+        })
+        .collect()
+}
+
+fn engine(org: OrgKind) -> BtbEngine {
+    BtbEngine::build(org, BudgetPoint::Kb14_5.bits(Arch::Arm64), Arch::Arm64)
+}
+
+fn bench_engine_lookup(c: &mut Criterion) {
+    let stream = branch_stream(4096);
+    let mut group = c.benchmark_group("engine_lookup");
+    for org in OrgKind::ALL {
+        let mut btb = engine(org);
+        for ev in &stream {
+            btb.update(ev);
+        }
+        group.bench_function(org.id(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ev = &stream[i & 4095];
+                i += 1;
+                black_box(btb.lookup(black_box(ev.pc)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_update(c: &mut Criterion) {
+    let stream = branch_stream(4096);
+    let mut group = c.benchmark_group("engine_update");
+    for org in OrgKind::ALL {
+        let mut btb = engine(org);
+        group.bench_function(org.id(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ev = &stream[i & 4095];
+                i += 1;
+                btb.update(black_box(ev));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine_lookup, bench_engine_update
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for synthetic-generator repositioning: the
+//! costs behind `ParallelSession`'s streaming shards.
+//!
+//! * `step` — materialize records one by one (`next_instr`), the cost a
+//!   consumer pays per simulated instruction;
+//! * `advance` — the materialization-free skip used to position a cold
+//!   shard at its window start;
+//! * `checkpoint_restore` — O(state) repositioning through a snapshot,
+//!   what a ladder-warm shard pays instead of `advance`;
+//! * `walker_clone` — handing a shard its own stream off the Arc-shared
+//!   prototype image.
+
+use btbx_trace::source::{SeekableSource, TraceSource};
+use btbx_trace::synth::{ProgramImage, SynthParams, SyntheticTrace};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const SKIP: u64 = 50_000;
+
+fn walker() -> SyntheticTrace {
+    let params = SynthParams::server(700);
+    SyntheticTrace::new(ProgramImage::generate(&params, 11), "bench", 11)
+}
+
+fn bench_positioning(c: &mut Criterion) {
+    let proto = walker();
+    let mut group = c.benchmark_group("generator_positioning");
+    group.throughput(Throughput::Elements(SKIP));
+
+    group.bench_function("step", |b| {
+        b.iter(|| {
+            let mut w = proto.clone();
+            for _ in 0..SKIP {
+                black_box(w.next_instr());
+            }
+            w.position()
+        });
+    });
+
+    group.bench_function("advance", |b| {
+        b.iter(|| {
+            let mut w = proto.clone();
+            w.advance(SKIP);
+            black_box(w.position())
+        });
+    });
+
+    // Snapshot taken once, restored per iteration: the ladder-warm path.
+    let cp = {
+        let mut w = proto.clone();
+        w.advance(SKIP);
+        w.checkpoint()
+    };
+    group.bench_function("checkpoint_restore", |b| {
+        b.iter(|| {
+            let mut w = proto.clone();
+            w.restore(&cp);
+            black_box(w.position())
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_clone(c: &mut Criterion) {
+    let proto = walker();
+    c.bench_function("walker_clone", |b| {
+        b.iter(|| black_box(proto.clone()).position());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_positioning, bench_clone
+}
+criterion_main!(benches);

@@ -110,8 +110,10 @@ impl SimPoint {
         if shards <= 1 {
             return self.run();
         }
-        let workload = self.workload.clone();
-        ParallelSession::new(move || workload.build_trace(), self.btb_spec())
+        // Build the program image once; shards clone the walker (the
+        // image is Arc-shared, so each clone is O(dynamic state)).
+        let proto = self.workload.build_trace();
+        ParallelSession::new(move || proto.clone(), self.btb_spec())
             .config(self.config.clone())
             .label(self.org.id())
             .warmup(self.warmup)

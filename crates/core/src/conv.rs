@@ -93,6 +93,7 @@ impl ConvBtb {
 }
 
 impl Btb for ConvBtb {
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
         self.counts.reads += 1;
         let set = set_index(pc, self.sets, self.arch);
@@ -113,6 +114,7 @@ impl Btb for ConvBtb {
         })
     }
 
+    #[inline]
     fn update(&mut self, event: &BranchEvent) {
         if !event.taken {
             return;

@@ -1,0 +1,127 @@
+//! A deterministic, fast hasher for hot-path hash maps.
+//!
+//! `std::collections::HashMap`'s default `RandomState` seeds SipHash per
+//! process: strong against adversarial keys, but (a) an order of
+//! magnitude slower than needed for trusted `u64` keys like PCs, and
+//! (b) a source of run-to-run memory-layout nondeterminism. [`FxHasher`]
+//! is the FxHash multiply-xor scheme (rustc's own table hasher): a couple
+//! of arithmetic ops per word, identical across processes and platforms.
+//!
+//! Use [`FxHashMap`]/[`FxHashSet`] for simulator-internal tables keyed by
+//! addresses or ids; keep the default hasher only where untrusted input
+//! could choose the keys (nowhere in this workspace).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash: `state = (state.rotate_left(5) ^ word) * SEED` per
+/// 8-byte word, with the golden-ratio multiplier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Deterministic [`FxHasher`] builder.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_builders() {
+        let a = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for pc in (0..10_000u64).map(|i| 0x40_0000 + i * 4) {
+            seen.insert(FxBuildHasher::default().hash_one(pc));
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on an aligned PC walk");
+    }
+
+    #[test]
+    fn tail_bytes_are_length_disambiguated() {
+        // A shorter prefix must not hash like its zero-padded extension.
+        assert_ne!(hash_of(&[1, 2, 3]), hash_of(&[1, 2, 3, 0]));
+        assert_ne!(hash_of(b""), hash_of(&[0]));
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        assert_eq!(m.len(), 1_000);
+        assert_eq!(m.get(&(42 * 64)), Some(&42));
+        assert_eq!(m.get(&1), None);
+    }
+}

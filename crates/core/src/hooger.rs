@@ -97,6 +97,7 @@ impl MixedBtb {
 }
 
 impl Btb for MixedBtb {
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
         self.counts.reads += 1;
         let set = set_index(pc, self.sets, self.arch);
@@ -124,6 +125,7 @@ impl Btb for MixedBtb {
         })
     }
 
+    #[inline]
     fn update(&mut self, event: &BranchEvent) {
         if !event.taken {
             return;

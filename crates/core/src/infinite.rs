@@ -7,14 +7,18 @@
 //! [`InfiniteBtb`] is the remaining front-end opportunity.
 
 use crate::btb::{Btb, BtbHit, HitSite};
+use crate::hash::FxHashMap;
 use crate::stats::{AccessCounts, StorageReport};
 use crate::types::{BranchEvent, BtbBranchType, TargetSource};
-use std::collections::HashMap;
 
 /// The idealized BTB.
+///
+/// Entries live in a [`FxHashMap`]: the keys are trusted PCs, so the
+/// deterministic multiply-xor hasher replaces SipHash — the per-probe
+/// hash was the dominant cost of headroom simulations.
 #[derive(Debug, Clone, Default)]
 pub struct InfiniteBtb {
-    entries: HashMap<u64, (BtbBranchType, u64)>,
+    entries: FxHashMap<u64, (BtbBranchType, u64)>,
     counts: AccessCounts,
 }
 
@@ -36,6 +40,7 @@ impl InfiniteBtb {
 }
 
 impl Btb for InfiniteBtb {
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
         self.counts.reads += 1;
         let &(btype, target) = self.entries.get(&pc)?;
@@ -52,6 +57,7 @@ impl Btb for InfiniteBtb {
         })
     }
 
+    #[inline]
     fn update(&mut self, event: &BranchEvent) {
         if !event.taken {
             return;

@@ -62,6 +62,7 @@ pub mod btb;
 pub mod conv;
 pub mod engine;
 pub mod factory;
+pub mod hash;
 pub mod hooger;
 pub mod infinite;
 pub mod offset;
@@ -79,6 +80,7 @@ pub use btb::{Btb, BtbHit, HitSite};
 pub use conv::ConvBtb;
 pub use engine::BtbEngine;
 pub use factory::{build, OrgKind};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hooger::MixedBtb;
 pub use infinite::InfiniteBtb;
 pub use pdede::PdedeBtb;

@@ -362,6 +362,7 @@ impl PdedeBtb {
 }
 
 impl Btb for PdedeBtb {
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
         self.counts.reads += 1;
         let set = set_index(pc, self.sets, self.arch);
@@ -372,6 +373,7 @@ impl Btb for PdedeBtb {
         Some(self.hit_for(pc, self.main[set * WAYS + way]))
     }
 
+    #[inline]
     fn note_target_consumed(&mut self, hit: &BtbHit) {
         // The second access cycle: Page- and Region-BTB reads happen only
         // when a different-page target is actually used (Section VI-E).
@@ -381,6 +383,7 @@ impl Btb for PdedeBtb {
         }
     }
 
+    #[inline]
     fn update(&mut self, event: &BranchEvent) {
         if !event.taken {
             return;

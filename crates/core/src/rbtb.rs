@@ -160,6 +160,7 @@ impl RBtb {
 }
 
 impl Btb for RBtb {
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
         self.counts.reads += 1;
         let set = set_index(pc, self.sets, self.arch);
@@ -184,12 +185,14 @@ impl Btb for RBtb {
         })
     }
 
+    #[inline]
     fn note_target_consumed(&mut self, hit: &BtbHit) {
         if hit.site == HitSite::Indirect {
             self.counts.page_reads += 1;
         }
     }
 
+    #[inline]
     fn update(&mut self, event: &BranchEvent) {
         if !event.taken {
             return;

@@ -132,22 +132,71 @@ mod tests {
         assert!((c.hit_rate() - 0.7).abs() < 1e-12);
     }
 
+    fn counts(base: u64) -> AccessCounts {
+        AccessCounts {
+            reads: base + 1,
+            read_hits: base + 2,
+            writes: base + 3,
+            page_reads: base + 4,
+            page_writes: base + 5,
+            page_searches: base + 6,
+            region_reads: base + 7,
+            region_writes: base + 8,
+            region_searches: base + 9,
+        }
+    }
+
     #[test]
-    fn merge_adds_everything() {
-        let mut a = AccessCounts {
-            reads: 1,
-            read_hits: 1,
-            writes: 2,
-            page_reads: 3,
-            page_writes: 4,
-            page_searches: 5,
-            region_reads: 6,
-            region_writes: 7,
-            region_searches: 8,
-        };
-        a.merge(&a.clone());
-        assert_eq!(a.reads, 2);
-        assert_eq!(a.region_searches, 16);
+    fn merge_adds_every_field() {
+        // Two *distinct* operands: a self-merge would hide a field that
+        // copies instead of adds (both look like doubling).
+        let mut a = counts(0);
+        a.merge(&counts(100));
+        assert_eq!(
+            a,
+            AccessCounts {
+                reads: 102,
+                read_hits: 104,
+                writes: 106,
+                page_reads: 108,
+                page_writes: 110,
+                page_searches: 112,
+                region_reads: 114,
+                region_writes: 116,
+                region_searches: 118,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_has_the_default_as_identity() {
+        let reference = counts(7);
+        let mut left = AccessCounts::default();
+        left.merge(&reference);
+        assert_eq!(left, reference, "identity ⊕ x = x");
+        let mut right = reference;
+        right.merge(&AccessCounts::default());
+        assert_eq!(right, reference, "x ⊕ identity = x");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (counts(1), counts(50), counts(4000));
+        // (a ⊕ b) ⊕ c
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "shard merge order must not matter");
+        // b ⊕ a
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
     }
 
     #[test]

@@ -327,6 +327,7 @@ impl BtbX {
 }
 
 impl Btb for BtbX {
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<BtbHit> {
         // BTB-X and BTB-XC are probed in parallel (Section V-B); one read.
         self.counts.reads += 1;
@@ -354,6 +355,7 @@ impl Btb for BtbX {
         None
     }
 
+    #[inline]
     fn update(&mut self, event: &BranchEvent) {
         if !event.taken {
             return;

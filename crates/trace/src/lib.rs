@@ -14,6 +14,9 @@
 //!   classification, so real IPC-1 traces can be fed in when available;
 //! * [`codec`] — a compact varint-encoded native trace format with
 //!   round-trip guarantees;
+//! * [`packed`] — 16-byte-per-event SoA buffers ([`PackedBuf`]) for the
+//!   few places that still buffer events, and [`PackedSource`] to replay
+//!   them;
 //! * [`synth`] — the synthetic workload generator: a seeded program image
 //!   (functions, basic blocks, calls across pages and library regions)
 //!   plus a dynamic walker that emits instruction streams whose branch
@@ -27,14 +30,16 @@
 
 pub mod champsim;
 pub mod codec;
+pub mod packed;
 pub mod record;
 pub mod source;
 pub mod stats;
 pub mod suite;
 pub mod synth;
 
+pub use packed::{PackedBuf, PackedInstr, PackedSource};
 pub use record::{MemAccess, Op, TraceInstr};
-pub use source::TraceSource;
+pub use source::{SeekableSource, TraceSource};
 pub use stats::TraceStats;
 pub use suite::{Suite, WorkloadSpec};
-pub use synth::{SynthParams, SyntheticTrace};
+pub use synth::{SynthCheckpoint, SynthParams, SyntheticTrace};

@@ -26,6 +26,6 @@ pub mod exec;
 pub mod image;
 pub mod profile;
 
-pub use exec::SyntheticTrace;
+pub use exec::{SynthCheckpoint, SyntheticTrace};
 pub use image::{FuncMeta, ProgramImage, SInstr, SKind, SynthParams};
 pub use profile::{BranchKindMix, OffsetLengthDist, OffsetProfile, Zipf};

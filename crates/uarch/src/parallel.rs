@@ -1,6 +1,6 @@
 //! Interval-sharded simulation: split one run's measurement window into
-//! `K` trace shards, replay them on the [`crate::runner`] thread pool, and
-//! deterministically merge the results.
+//! `K` streaming trace shards, replay them on the [`crate::runner`] thread
+//! pool, and deterministically merge the results.
 //!
 //! # How a shard replays
 //!
@@ -15,19 +15,41 @@
 //!           [W + i·M/K − C, W + (i+1)·M/K)
 //! ```
 //!
-//! The windows are materialized by **one shared generation pass** over
-//! the trace (plus a short tail so pipelines drain exactly as they would
-//! mid-stream), so trace generation is paid once — not once per shard —
-//! and the simulated work drops from `W + M` to `K·C + M`. That work
-//! reduction wins wall-clock even on one core when `K·C < W`, and the
-//! shards then parallelize perfectly across cores. The buffered windows
-//! cost `(K·C + M) × sizeof(TraceInstr)` bytes of memory.
+//! Each shard **streams** its window: it positions its own trace source at
+//! the window start and generates events on the fly while simulating, so
+//! there is no shared materialization pass and no `O(window)` event
+//! buffer — peak event memory is one packed
+//! [`crate::sim::EVENT_BLOCK_BYTES`] staging block per live shard. The
+//! simulated work drops from `W + M` to `K·C + M`, which wins wall-clock
+//! even on one core when `K·C < W`, and the shards then parallelize
+//! across cores.
+//!
+//! # The checkpoint ladder
+//!
+//! Positioning a shard at trace offset `lo` costs `lo` generator
+//! skip-steps from a cold source — cheap next to simulation, but still
+//! the dominant non-simulated work of a sharded run. The
+//! [`CheckpointLadder`] removes it wherever a position has been reached
+//! before: shards snapshot their source ([`SeekableSource::checkpoint`])
+//! at every shard boundary they stream across and publish the snapshots;
+//! a shard starting at `lo` first claims the deepest snapshot at or below
+//! `lo` and only skip-steps the difference. Within one run this pipelines
+//! shards on few-core hosts (shard `i` streams across shard `i+1`'s start
+//! and hands it a zero-cost start); **across** runs — a budget sweep, an
+//! FDIP ablation, repeated benchmarking of the same workload — passing a
+//! shared ladder via [`ParallelSession::ladder`] makes every later run
+//! seek in `O(state)` instead of `O(position)`, amortizing trace
+//! generation over the whole experiment the way the paper's Table IV
+//! sweep demands.
 //!
 //! # Determinism and serial equivalence
 //!
-//! The merge is a pure, order-independent reduction over per-shard
-//! counters, so a sharded run is byte-identical across repetitions and
-//! thread schedules. Equivalence with a *serial* [`SimSession`] holds:
+//! A checkpoint restore reproduces the generator state bit-for-bit, so a
+//! shard's stream is identical whether it stepped from zero, restored a
+//! same-run snapshot, or restored a snapshot from a previous run. The
+//! merge is a pure, order-independent reduction over per-shard counters,
+//! so a sharded run is byte-identical across repetitions and thread
+//! schedules. Equivalence with a *serial* [`SimSession`] holds:
 //!
 //! * **always** for `shards = 1` with the default carry-in — the shard
 //!   replays exactly the serial session;
@@ -44,18 +66,176 @@
 
 use crate::runner::run_named_jobs;
 use crate::session::{IntervalStats, SessionError, SimSession};
+use crate::sim::EVENT_BLOCK_BYTES;
 use crate::stats::SimResult;
 use crate::SimConfig;
 use btbx_core::spec::BtbSpec;
+use btbx_trace::packed::PackedBuf;
 use btbx_trace::record::TraceInstr;
-use btbx_trace::source::VecSource;
+use btbx_trace::source::SeekableSource;
 use btbx_trace::TraceSource;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
 
-/// Instructions buffered past a shard's measurement window so the
-/// front-end drains exactly as it would mid-stream. Fetch can run ahead
-/// of commit by at most the FTQ plus the ROB plus one fetch group —
-/// well under this.
-const TAIL_SLACK: u64 = 4096;
+/// Upper bound on retained checkpoints; later publishes are dropped once
+/// the ladder is full (positions already present keep being reusable).
+const LADDER_CAPACITY: usize = 1024;
+
+/// A shared store of trace-source snapshots keyed by stream position.
+///
+/// One ladder serves one logical trace stream (same workload, same seed):
+/// the first source that touches the ladder binds its
+/// [`TraceSource::source_name`], and any later use by a differently named
+/// stream panics rather than silently replaying the wrong trace. Share a
+/// ladder across [`ParallelSession`] runs of the same workload to make
+/// repeat positioning O(state); see the module docs.
+#[derive(Debug, Default)]
+pub struct CheckpointLadder<C> {
+    stream: Mutex<Option<String>>,
+    slots: Mutex<BTreeMap<u64, C>>,
+}
+
+impl<C: Clone> CheckpointLadder<C> {
+    /// An empty, unbound ladder.
+    pub fn new() -> Self {
+        CheckpointLadder {
+            stream: Mutex::new(None),
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Bind the ladder to a stream name (first caller wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ladder is already bound to a different name: a
+    /// ladder must never be shared across distinct workloads.
+    pub fn bind(&self, name: &str) {
+        let mut stream = self.stream.lock().unwrap();
+        match stream.as_deref() {
+            None => *stream = Some(name.to_string()),
+            Some(bound) => assert_eq!(
+                bound, name,
+                "checkpoint ladder is bound to stream `{bound}`; \
+                 refusing to reuse it for `{name}`"
+            ),
+        }
+    }
+
+    /// The deepest snapshot at or below `pos`, if any.
+    pub fn claim(&self, pos: u64) -> Option<(u64, C)> {
+        let slots = self.slots.lock().unwrap();
+        slots
+            .range(..=pos)
+            .next_back()
+            .map(|(p, c)| (*p, c.clone()))
+    }
+
+    /// Store a snapshot taken at `pos` (first publish wins; ignored once
+    /// [`LADDER_CAPACITY`] distinct positions are held).
+    pub fn publish(&self, pos: u64, cp: C) {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.len() < LADDER_CAPACITY {
+            slots.entry(pos).or_insert(cp);
+        }
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// `true` when no snapshot is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A pass-through [`TraceSource`] that publishes a checkpoint to the
+/// ladder whenever the stream crosses one of the pending boundary
+/// positions — this is how shard `i` seeds the starts of shards `> i`
+/// while streaming its own window.
+struct LadderTap<'a, S: SeekableSource> {
+    inner: S,
+    ladder: &'a CheckpointLadder<S::Checkpoint>,
+    /// Ascending positions still to publish.
+    pending: Vec<u64>,
+    next: usize,
+}
+
+impl<'a, S: SeekableSource> LadderTap<'a, S> {
+    fn new(inner: S, ladder: &'a CheckpointLadder<S::Checkpoint>, boundaries: Vec<u64>) -> Self {
+        let pos = inner.position();
+        let next = boundaries.partition_point(|&b| b <= pos);
+        LadderTap {
+            inner,
+            ladder,
+            pending: boundaries,
+            next,
+        }
+    }
+
+    /// Publish every pending boundary the stream has reached.
+    #[inline]
+    fn publish_reached(&mut self) {
+        while let Some(&b) = self.pending.get(self.next) {
+            let pos = self.inner.position();
+            if pos < b {
+                break;
+            }
+            self.next += 1;
+            if pos == b {
+                self.ladder.publish(b, self.inner.checkpoint());
+            }
+        }
+    }
+}
+
+impl<S: SeekableSource> TraceSource for LadderTap<'_, S> {
+    fn next_instr(&mut self) -> Option<TraceInstr> {
+        self.publish_reached();
+        self.inner.next_instr()
+    }
+
+    fn source_name(&self) -> &str {
+        self.inner.source_name()
+    }
+
+    fn fill_block(&mut self, block: &mut PackedBuf, max: usize) -> usize {
+        self.publish_reached();
+        // Never batch past the next boundary: the snapshot must be taken
+        // exactly there.
+        let cap = match self.pending.get(self.next) {
+            Some(&b) => max.min((b - self.inner.position()) as usize),
+            None => max,
+        };
+        self.inner.fill_block(block, cap.max(1))
+    }
+}
+
+/// Per-run positioning and buffering telemetry; `btbx bench` records it
+/// so the serial generation pass cannot silently creep back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelTelemetry {
+    /// Wall-clock spent in the serial prelude of [`ParallelSession::run`]
+    /// (validation and shard planning) before any shard job started. The
+    /// streaming design keeps this O(1) in the window length.
+    pub serial_setup_seconds: f64,
+    /// Summed wall-clock the shards spent positioning their sources
+    /// (claiming checkpoints and skip-stepping to the window start) —
+    /// the generation-side share of the run.
+    pub position_seconds: f64,
+    /// Total instructions skip-stepped while positioning (0 when every
+    /// shard start was served from the checkpoint ladder).
+    pub advanced_instructions: u64,
+    /// Event-buffer footprint of the run's design: one packed staging
+    /// block per concurrently live shard (`threads × EVENT_BLOCK_BYTES`),
+    /// O(shards) not O(window). Computed from the streaming structure,
+    /// not instrumented at runtime; a reintroduced serial buffering pass
+    /// shows up in `serial_setup_seconds`, which `btbx bench` gates.
+    pub peak_event_buffer_bytes: u64,
+}
 
 /// Outcome of a sharded run: the merged result plus the merged
 /// per-interval statistics stream.
@@ -69,14 +249,16 @@ pub struct ParallelOutcome {
     /// [`SimSession::every`] observer would see under the equivalence
     /// conditions above.
     pub intervals: Vec<IntervalStats>,
+    /// Positioning/buffering telemetry for this run.
+    pub telemetry: ParallelTelemetry,
 }
 
 /// Builder for an interval-sharded simulation of one workload.
 ///
 /// `factory` must produce a fresh, identical trace stream per call (every
 /// [`btbx_trace::suite::WorkloadSpec`] and any `Clone` source qualifies);
-/// each shard consumes its own stream from the beginning.
-pub struct ParallelSession<F> {
+/// each shard streams its own window from its own source instance.
+pub struct ParallelSession<'l, S: SeekableSource, F> {
     factory: F,
     spec: BtbSpec,
     config: SimConfig,
@@ -87,11 +269,12 @@ pub struct ParallelSession<F> {
     carry_in: Option<u64>,
     interval: Option<u64>,
     threads: usize,
+    ladder: Option<&'l CheckpointLadder<S::Checkpoint>>,
 }
 
-impl<S, F> ParallelSession<F>
+impl<'l, S, F> ParallelSession<'l, S, F>
 where
-    S: TraceSource + Send,
+    S: SeekableSource + Send,
     F: Fn() -> S + Sync,
 {
     /// Start a sharded session: `factory` yields one trace stream per
@@ -99,7 +282,7 @@ where
     ///
     /// Defaults: Table II config, no warm-up, 1 shard, carry-in equal to
     /// the warm-up, one interval per shard, one thread per shard (capped
-    /// at the host's parallelism).
+    /// at the host's parallelism), run-local checkpoint ladder.
     pub fn new(factory: F, spec: BtbSpec) -> Self {
         ParallelSession {
             factory,
@@ -114,6 +297,7 @@ where
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            ladder: None,
         }
     }
 
@@ -171,6 +355,15 @@ where
         self
     }
 
+    /// Reuse a [`CheckpointLadder`] across runs of the *same workload*
+    /// (same factory output): shard positions reached by any earlier run
+    /// are then restored in O(state) instead of re-derived by stepping.
+    /// The results are bit-identical with or without a shared ladder.
+    pub fn ladder(mut self, ladder: &'l CheckpointLadder<S::Checkpoint>) -> Self {
+        self.ladder = Some(ladder);
+        self
+    }
+
     /// Run every shard and merge.
     ///
     /// # Errors
@@ -179,6 +372,7 @@ where
     /// [`SessionError::UnboundedMeasure`] when more than one shard is
     /// requested without a finite [`measure`](Self::measure) window.
     pub fn run(self) -> Result<ParallelOutcome, SessionError> {
+        let setup_started = Instant::now();
         self.spec.validate().map_err(SessionError::Spec)?;
         if self.measure == u64::MAX && self.shards > 1 {
             return Err(SessionError::UnboundedMeasure);
@@ -193,7 +387,7 @@ where
         let interval = self.interval;
 
         if shards == 1 {
-            // Streamed directly: no buffering, and `measure` may be
+            // Streamed directly: no positioning, and `measure` may be
             // unbounded. This is exactly the serial session.
             let mut intervals = Vec::new();
             let mut session = SimSession::new((self.factory)())
@@ -210,7 +404,16 @@ where
                 })
                 .run()
                 .expect("spec validated above");
-            return Ok(ParallelOutcome { result, intervals });
+            return Ok(ParallelOutcome {
+                result,
+                intervals,
+                telemetry: ParallelTelemetry {
+                    serial_setup_seconds: 0.0,
+                    position_seconds: 0.0,
+                    advanced_instructions: 0,
+                    peak_event_buffer_bytes: EVENT_BLOCK_BYTES,
+                },
+            });
         }
 
         let chunk = self.measure.div_ceil(shards as u64);
@@ -221,65 +424,61 @@ where
         let shards = self.measure.div_ceil(chunk) as usize;
         let carry = self.carry_in.unwrap_or(self.warmup);
 
-        // One shared generation pass materializes every shard's
-        // carry-in + chunk (+ drain tail) window: trace generation is
-        // paid once, not once per shard.
         struct ShardPlan {
             lo: u64,
             start: u64,
             measure: u64,
-            window: Vec<TraceInstr>,
         }
-        let mut plans: Vec<ShardPlan> = (0..shards as u64)
+        let plans: Vec<ShardPlan> = (0..shards as u64)
             .map(|i| {
                 let start = self.warmup + i * chunk;
                 let measure = chunk.min(self.measure - i * chunk);
-                let lo = start.saturating_sub(carry);
                 ShardPlan {
-                    lo,
+                    lo: start.saturating_sub(carry),
                     start,
                     measure,
-                    window: Vec::with_capacity((start - lo + measure) as usize + 64),
                 }
             })
             .collect();
-        let mut source = (self.factory)();
-        let trace_name = source.source_name().to_string();
-        let last_hi = {
-            let last = plans.last().expect("at least one shard");
-            (last.start + last.measure).saturating_add(TAIL_SLACK)
+        // Every shard window start is a ladder boundary: a shard that
+        // streams across a later shard's start publishes its state there.
+        let boundaries: Vec<u64> = plans.iter().map(|p| p.lo).collect();
+
+        let local_ladder;
+        let ladder = match self.ladder {
+            Some(shared) => shared,
+            None => {
+                local_ladder = CheckpointLadder::new();
+                &local_ladder
+            }
         };
-        // `lo` and the window ends are both non-decreasing in shard
-        // index, so the shards covering position `g` are a sliding
-        // contiguous range [active, upto).
-        let (mut active, mut upto) = (0usize, 0usize);
-        for g in 0..last_hi {
-            let Some(instr) = source.next_instr() else {
-                break;
-            };
-            while upto < plans.len() && plans[upto].lo <= g {
-                upto += 1;
-            }
-            while active < upto
-                && g >= (plans[active].start + plans[active].measure).saturating_add(TAIL_SLACK)
-            {
-                active += 1;
-            }
-            for plan in &mut plans[active..upto] {
-                plan.window.push(instr);
-            }
-        }
 
         let config = &self.config;
         let label = &self.label;
-        let name = &trace_name;
+        let factory = &self.factory;
+        let boundaries = &boundaries;
         let jobs: Vec<(String, _)> = plans
             .into_iter()
             .enumerate()
             .map(|(i, plan)| {
                 let job = move || {
+                    // Position the stream at the window start: claim the
+                    // deepest published snapshot, skip-step the rest.
+                    let positioning = Instant::now();
+                    let mut source = factory();
+                    ladder.bind(source.source_name());
+                    if let Some((_, cp)) = ladder.claim(plan.lo) {
+                        source.restore(&cp);
+                    }
+                    let advanced = source.advance(plan.lo - source.position());
+                    if source.position() == plan.lo {
+                        ladder.publish(plan.lo, source.checkpoint());
+                    }
+                    let position_seconds = positioning.elapsed().as_secs_f64();
+
+                    let tap = LadderTap::new(source, ladder, boundaries.clone());
                     let mut intervals = Vec::new();
-                    let mut session = SimSession::new(VecSource::new(name.clone(), plan.window))
+                    let mut session = SimSession::new(tap)
                         .btb_spec(spec)
                         .config(config.clone())
                         .warmup(plan.start - plan.lo)
@@ -293,7 +492,7 @@ where
                         })
                         .run()
                         .expect("spec validated before sharding");
-                    (result, intervals)
+                    (result, intervals, position_seconds, advanced)
                 };
                 (format!("shard{i}"), job)
             })
@@ -303,19 +502,31 @@ where
             .label
             .clone()
             .unwrap_or_else(|| spec.org.id().to_string());
-        let shard_outputs = run_named_jobs(&pool_label, self.threads.min(shards), jobs);
-        Ok(merge(shard_outputs))
+        let threads = self.threads.min(shards);
+        let serial_setup_seconds = setup_started.elapsed().as_secs_f64();
+        let shard_outputs = run_named_jobs(&pool_label, threads, jobs);
+        let mut outcome = merge(shard_outputs);
+        outcome.telemetry.serial_setup_seconds = serial_setup_seconds;
+        outcome.telemetry.peak_event_buffer_bytes = threads as u64 * EVENT_BLOCK_BYTES;
+        Ok(outcome)
     }
 }
 
 /// Deterministically merge per-shard results and interval streams in
 /// shard (= trace) order.
-fn merge(shards: Vec<(SimResult, Vec<IntervalStats>)>) -> ParallelOutcome {
+#[allow(clippy::type_complexity)]
+fn merge(shards: Vec<(SimResult, Vec<IntervalStats>, f64, u64)>) -> ParallelOutcome {
+    let mut telemetry = ParallelTelemetry::default();
     let mut iter = shards.into_iter();
-    let (mut result, first_intervals) = iter.next().expect("at least one shard");
+    let (mut result, first_intervals, pos_secs, advanced) =
+        iter.next().expect("at least one shard");
+    telemetry.position_seconds += pos_secs;
+    telemetry.advanced_instructions += advanced;
     let mut intervals: Vec<IntervalStats> = first_intervals;
 
-    for (shard_result, shard_intervals) in iter {
+    for (shard_result, shard_intervals, pos_secs, advanced) in iter {
+        telemetry.position_seconds += pos_secs;
+        telemetry.advanced_instructions += advanced;
         // Re-accumulate the shard's cumulative fields on top of the
         // global totals so far.
         let (base_instr, base_cycles, base_bpu) = intervals
@@ -338,7 +549,11 @@ fn merge(shards: Vec<(SimResult, Vec<IntervalStats>)>) -> ParallelOutcome {
         }
         result.stats.merge(&shard_result.stats);
     }
-    ParallelOutcome { result, intervals }
+    ParallelOutcome {
+        result,
+        intervals,
+        telemetry,
+    }
 }
 
 #[cfg(test)]
@@ -486,5 +701,79 @@ mod tests {
             assert_eq!(x.cycles, y.cycles);
             assert_eq!(x.bpu, y.bpu);
         }
+    }
+
+    #[test]
+    fn shared_ladder_reruns_are_byte_identical_and_skip_positioning() {
+        let spec = BtbSpec::of(OrgKind::BtbX).at(BudgetPoint::Kb3_6);
+        let ladder = CheckpointLadder::new();
+        let run = |ladder: Option<&CheckpointLadder<u64>>| {
+            let mut s = ParallelSession::new(|| straight_line(150_000), spec)
+                .config(SimConfig::without_fdip())
+                .warmup(8_000)
+                .measure(60_000)
+                .shards(4)
+                .carry_in(1_000)
+                .threads(1);
+            if let Some(l) = ladder {
+                s = s.ladder(l);
+            }
+            s.run().unwrap()
+        };
+        let cold = run(None);
+        let first = run(Some(&ladder));
+        assert!(
+            !ladder.is_empty(),
+            "shard boundaries must be published to the shared ladder"
+        );
+        let warm = run(Some(&ladder));
+        assert_eq!(
+            warm.telemetry.advanced_instructions, 0,
+            "every shard start must be served from the ladder"
+        );
+        for out in [&first, &warm] {
+            assert_eq!(
+                out.result.stats.instructions,
+                cold.result.stats.instructions
+            );
+            assert_eq!(out.result.stats.cycles, cold.result.stats.cycles);
+            assert_eq!(out.result.stats.bpu, cold.result.stats.bpu);
+            assert_eq!(out.result.stats.btb_counts, cold.result.stats.btb_counts);
+        }
+    }
+
+    #[test]
+    fn telemetry_reports_streaming_costs() {
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8);
+        let out = ParallelSession::new(|| straight_line(100_000), spec)
+            .config(SimConfig::without_fdip())
+            .warmup(10_000)
+            .measure(40_000)
+            .shards(4)
+            .carry_in(1_000)
+            .threads(2)
+            .run()
+            .unwrap();
+        // Cold run with a fresh per-run ladder and one worker claiming in
+        // order: shard 0 advances to its own start; later shards restore
+        // published boundaries, so the total advanced count stays at or
+        // below the sum of all window starts.
+        assert!(out.telemetry.advanced_instructions >= 9_000);
+        let lo_sum: u64 = (0..4u64).map(|i| 10_000 + i * 10_000 - 1_000).sum();
+        assert!(out.telemetry.advanced_instructions <= lo_sum);
+        assert_eq!(
+            out.telemetry.peak_event_buffer_bytes,
+            2 * EVENT_BLOCK_BYTES,
+            "two concurrent shards, one packed block each"
+        );
+        assert!(out.telemetry.serial_setup_seconds < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to reuse")]
+    fn ladder_rejects_a_different_workload() {
+        let ladder: CheckpointLadder<u64> = CheckpointLadder::new();
+        ladder.bind("workload-a");
+        ladder.bind("workload-b");
     }
 }

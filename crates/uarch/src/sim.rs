@@ -20,9 +20,21 @@ use crate::hierarchy::{Hierarchy, Port};
 use crate::session::IntervalStats;
 use crate::stats::{SimResult, SimStats};
 use btbx_core::types::BranchEvent;
+use btbx_trace::packed::PackedBuf;
 use btbx_trace::record::{MemAccess, Op};
 use btbx_trace::TraceSource;
 use std::collections::VecDeque;
+
+/// Events per trace block pulled from the source in one refill. The
+/// prediction stage consumes from this staging buffer instead of calling
+/// `next_instr` per event, amortizing the per-event pull; the block is
+/// the *only* event buffering a streaming simulation performs.
+pub const EVENT_BLOCK_EVENTS: usize = 256;
+
+/// Bytes of event buffering one live simulator holds
+/// ([`EVENT_BLOCK_EVENTS`] packed 16-byte events) — O(1) in the window
+/// length, reported by `btbx bench` as the peak per-shard buffer cost.
+pub const EVENT_BLOCK_BYTES: u64 = EVENT_BLOCK_EVENTS as u64 * 16;
 
 #[derive(Debug, Clone, Copy)]
 struct RobEntry {
@@ -55,6 +67,10 @@ pub struct Simulator<S, B: btbx_core::Btb = Box<dyn btbx_core::Btb>> {
     hierarchy: Hierarchy,
     fdip: Option<Fdip>,
     rob: VecDeque<RobEntry>,
+    /// Packed staging block of upcoming trace events (see
+    /// [`EVENT_BLOCK_EVENTS`]).
+    block: PackedBuf,
+    block_pos: usize,
     cycle: u64,
     committed: u64,
     bpu_state: BpuState,
@@ -95,6 +111,8 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
             hierarchy,
             fdip,
             rob: VecDeque::with_capacity(512),
+            block: PackedBuf::with_capacity(EVENT_BLOCK_EVENTS),
+            block_pos: 0,
             cycle: 0,
             committed: 0,
             bpu_state: BpuState::Running,
@@ -172,6 +190,22 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
 
     fn finished(&self) -> bool {
         self.trace_done && self.ftq.is_empty() && self.rob.is_empty()
+    }
+
+    /// Pop the next trace event from the staging block, refilling it from
+    /// the source in [`EVENT_BLOCK_EVENTS`]-sized batches.
+    #[inline]
+    fn next_event(&mut self) -> Option<btbx_trace::record::TraceInstr> {
+        if self.block_pos == self.block.len() {
+            self.block.clear();
+            self.block_pos = 0;
+            if self.trace.fill_block(&mut self.block, EVENT_BLOCK_EVENTS) == 0 {
+                return None;
+            }
+        }
+        let instr = self.block.get(self.block_pos);
+        self.block_pos += 1;
+        Some(instr)
     }
 
     fn begin_measurement(&mut self) {
@@ -372,7 +406,7 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
         let mut predicted = 0;
         let mut taken_budget = self.config.bpu_taken_per_cycle;
         while predicted < self.config.bpu_width && taken_budget > 0 && self.ftq.has_room() {
-            let Some(instr) = self.trace.next_instr() else {
+            let Some(instr) = self.next_event() else {
                 self.trace_done = true;
                 break;
             };
