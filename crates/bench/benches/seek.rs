@@ -1,5 +1,7 @@
-//! Criterion microbenchmarks for synthetic-generator repositioning: the
-//! costs behind `ParallelSession`'s streaming shards.
+//! Criterion microbenchmarks for trace repositioning: the costs behind
+//! `ParallelSession`'s streaming shards.
+//!
+//! Synthetic walker (`generator_positioning`):
 //!
 //! * `step` — materialize records one by one (`next_instr`), the cost a
 //!   consumer pays per simulated instruction;
@@ -9,7 +11,20 @@
 //!   what a ladder-warm shard pays instead of `advance`;
 //! * `walker_clone` — handing a shard its own stream off the Arc-shared
 //!   prototype image.
+//!
+//! `.btbt` container (`container_positioning`):
+//!
+//! * `file_step` — sequential block decode via `next_instr`, the
+//!   file-backed analogue of `step`;
+//! * `file_fill_block` — the batched decode path the simulator's hot
+//!   loop actually uses;
+//! * `file_seek_cold` — index binary-search + one block read from a
+//!   fresh source: the cost of positioning a file-backed shard with no
+//!   ladder at all (contrast with the walker, where a cold seek is
+//!   O(position) stepping).
 
+use btbx_trace::container::{write_container, PackedFileSource};
+use btbx_trace::packed::PackedBuf;
 use btbx_trace::source::{SeekableSource, TraceSource};
 use btbx_trace::synth::{ProgramImage, SynthParams, SyntheticTrace};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -68,9 +83,70 @@ fn bench_clone(c: &mut Criterion) {
     });
 }
 
+fn bench_container(c: &mut Criterion) {
+    // The walker's first 2×SKIP instructions, as a .btbt container.
+    let path = std::env::temp_dir().join(format!("btbx-seek-bench-{}.btbt", std::process::id()));
+    let file = std::fs::File::create(&path).expect("temp container");
+    let mut source = walker();
+    write_container(
+        file,
+        "bench",
+        btbx_core::types::Arch::Arm64,
+        &mut source,
+        SKIP * 2,
+    )
+    .expect("container writes");
+    let proto = PackedFileSource::open(&path).expect("container reads");
+
+    let mut group = c.benchmark_group("container_positioning");
+    group.throughput(Throughput::Elements(SKIP));
+
+    group.bench_function("file_step", |b| {
+        b.iter(|| {
+            let mut s = proto.clone();
+            for _ in 0..SKIP {
+                black_box(s.next_instr());
+            }
+            SeekableSource::position(&s)
+        });
+    });
+
+    group.bench_function("file_fill_block", |b| {
+        let mut block = PackedBuf::with_capacity(256);
+        b.iter(|| {
+            let mut s = proto.clone();
+            let mut left = SKIP as usize;
+            while left > 0 {
+                block.clear();
+                let n = s.fill_block(&mut block, 256.min(left));
+                if n == 0 {
+                    break;
+                }
+                left -= n;
+            }
+            black_box(SeekableSource::position(&s))
+        });
+    });
+
+    // A cold seek lands SKIP deep with one index lookup + one block
+    // decode; same throughput denominator as the walker's `advance` for
+    // direct comparison.
+    group.bench_function("file_seek_cold", |b| {
+        b.iter(|| {
+            let mut s = proto.clone();
+            s.seek(SKIP);
+            black_box(s.next_instr());
+            SeekableSource::position(&s)
+        });
+    });
+
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_positioning, bench_clone
+    targets = bench_positioning, bench_clone, bench_container
 }
 criterion_main!(benches);

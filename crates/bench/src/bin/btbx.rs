@@ -19,10 +19,18 @@ use btbx_bench::registry::{self, ExperimentKind};
 use btbx_bench::report::write_artifact;
 use btbx_bench::sweep::Sweep;
 use btbx_bench::HarnessOpts;
-use btbx_core::spec::Budget;
+use btbx_core::spec::{BtbSpec, Budget};
 use btbx_core::storage::BudgetPoint;
+use btbx_core::types::Arch;
 use btbx_core::OrgKind;
-use btbx_trace::suite;
+use btbx_trace::champsim::ChampSimReader;
+use btbx_trace::container;
+use btbx_trace::suite::{self, WorkloadSpec};
+use btbx_trace::AnySource;
+use btbx_uarch::sim::EVENT_BLOCK_BYTES;
+use btbx_uarch::{ParallelSession, SimConfig, SimSession};
+use std::io::BufReader;
+use std::path::Path;
 
 const USAGE: &str = "\
 btbx — reproduce 'A Storage-Effective BTB Organization for Servers'
@@ -38,8 +46,12 @@ commands:
   all             run the full reproduction and write RESULTS.md
   sweep           run a custom workload x org x budget x FDIP matrix
   bench           measure simulator throughput, write BENCH_sim.json
+  trace           convert/inspect/check .btbt trace containers
   list            list every runnable experiment
   help            show this help
+
+`sweep` and `bench` accept --trace FILE to replay a .btbt container
+instead of the synthetic suites.
 
 run `btbx <command> --help` for the command's options.";
 
@@ -55,6 +67,8 @@ selection:
   --suite NAME     ipc1 | client | server | cvp1 | x86      [ipc1]
   --workloads L    comma-separated workload names (filters the suite)
   --fdip MODE      on | off | both                          [on]
+  --trace FILE     replay a .btbt container instead of a suite
+                   (orgs/budgets/fdip still apply; see btbx trace)
 
 spec files:
   --save FILE      write the sweep as JSON and exit (no simulation)
@@ -92,6 +106,7 @@ fn main() {
         }
         "sweep" => sweep_cmd(args),
         "bench" => bench_cmd(args),
+        "trace" => trace_cmd(args),
         name => match registry::find(name) {
             Some(e) => {
                 let opts = parse_opts(args, name, None);
@@ -217,6 +232,31 @@ fn sweep_cmd(args: Vec<String>) {
         let json = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
         Sweep::from_json(&json).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")))
+    } else if let Some(trace) = &opts.trace {
+        // A trace container replaces the synthetic suite: one
+        // file-backed workload crossed with the selected orgs/budgets.
+        let workload = WorkloadSpec::from_container(trace)
+            .unwrap_or_else(|e| fail(&format!("--trace {}: {e}", trace.display())));
+        eprintln!(
+            "[sweep] file-backed workload `{}` from {} (suite selection ignored)",
+            workload.name,
+            trace.display()
+        );
+        if let Ok(info) = container::read_info(trace) {
+            if opts.warmup + opts.measure > info.total_events {
+                eprintln!(
+                    "[sweep] warning: windows ({} + {}) exceed the trace's {} \
+                     instructions; runs will end at trace end",
+                    opts.warmup, opts.measure, info.total_events
+                );
+            }
+        }
+        Sweep::named("sweep")
+            .workloads([workload])
+            .orgs(orgs)
+            .budgets(budgets)
+            .fdip_options(fdip)
+            .windows(opts.warmup, opts.measure)
     } else {
         let mut workloads = match suite_name.as_str() {
             "ipc1" => suite::ipc1_all(),
@@ -327,6 +367,280 @@ fn bench_cmd(args: Vec<String>) {
     let baseline = baseline.map(std::path::PathBuf::from);
     if let Err(msg) = btbx_bench::perf::run(&opts, smoke, baseline.as_deref()) {
         eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+const TRACE_USAGE: &str = "\
+usage: btbx trace <subcommand>
+
+subcommands:
+  convert IN -o OUT [--name N] [--arch arm64|x86] [--limit N]
+          [--instr-size B]
+      read a ChampSim input_instr trace and write a .btbt indexed packed
+      container; truncated or unreadable input fails loudly with the
+      damaged byte offset (no silent record drops). ChampSim stores no
+      instruction sizes: fall-throughs assume 4 bytes unless
+      --instr-size overrides it (matters for x86 streams)
+  info FILE
+      print a container's header: stream name, arch, events, blocks,
+      escapes and content hash
+  check FILE [--shards N]
+      replay the trace serially and as N interval shards (exact mode:
+      full carry-in, commit width 1) and fail unless the stats are
+      byte-identical, peak event memory stays at one block per shard
+      slot, and the sharded serial-setup share is under the bench gate";
+
+fn trace_cmd(mut args: Vec<String>) {
+    if args.first().map(String::as_str) == Some("--help")
+        || args.first().map(String::as_str) == Some("-h")
+        || args.is_empty()
+    {
+        println!("{TRACE_USAGE}");
+        return;
+    }
+    let sub = args.remove(0);
+    match sub.as_str() {
+        "convert" => trace_convert(args),
+        "info" => trace_info(args),
+        "check" => trace_check(args),
+        other => fail(&format!("unknown trace subcommand `{other}`")),
+    }
+}
+
+fn trace_convert(args: Vec<String>) {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut arch = Arch::Arm64;
+    let mut limit = u64::MAX;
+    let mut instr_size: Option<u8> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} expects a value")))
+        };
+        match arg.as_str() {
+            "-o" | "--out" => output = Some(value("-o")),
+            "--name" => name = Some(value("--name")),
+            "--arch" => {
+                arch = match value("--arch").as_str() {
+                    "arm64" => Arch::Arm64,
+                    "x86" => Arch::X86,
+                    other => fail(&format!("--arch expects arm64|x86, got `{other}`")),
+                }
+            }
+            "--limit" => {
+                limit = value("--limit")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--limit expects a number"));
+            }
+            "--instr-size" => {
+                instr_size = Some(
+                    value("--instr-size")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--instr-size expects a byte count")),
+                );
+            }
+            "--help" | "-h" => {
+                println!("{TRACE_USAGE}");
+                return;
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => fail(&format!("trace convert: unexpected `{other}`")),
+        }
+    }
+    let input = input.unwrap_or_else(|| fail("trace convert expects an input file"));
+    let output = output.unwrap_or_else(|| fail("trace convert expects -o <output>"));
+    let in_path = Path::new(&input);
+
+    // Refuse inputs that are already containers instead of wrapping
+    // 64-byte parses around them.
+    if let Ok(mut f) = std::fs::File::open(in_path) {
+        use std::io::Read;
+        let mut magic = [0u8; 4];
+        if f.read(&mut magic).unwrap_or(0) == 4 && &magic == container::MAGIC {
+            fail(&format!("{input} is already a .btbt container"));
+        }
+    }
+
+    let stem = in_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let name = name.unwrap_or(stem);
+
+    let in_file =
+        std::fs::File::open(in_path).unwrap_or_else(|e| fail(&format!("opening {input}: {e}")));
+    let in_bytes = in_file.metadata().map(|m| m.len()).unwrap_or(0);
+    let mut reader = ChampSimReader::new(BufReader::new(in_file), name.clone());
+    // ChampSim records carry no size field; the reader's fixed size
+    // feeds fall-through reconstruction. 4 is exact for Arm64; x86
+    // streams need an explicit (approximate) choice.
+    reader.instr_size = instr_size.unwrap_or(4);
+    if arch == Arch::X86 && instr_size.is_none() {
+        eprintln!(
+            "[trace] warning: ChampSim streams store no instruction sizes; \
+             x86 fall-throughs assume 4 bytes (override with --instr-size N)"
+        );
+    }
+
+    let out_file =
+        std::fs::File::create(&output).unwrap_or_else(|e| fail(&format!("creating {output}: {e}")));
+    let summary = container::write_container(out_file, &name, arch, &mut reader, limit)
+        .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
+    // A short stream from the reader is either clean end-of-trace or
+    // damage; converters must not bake a silently truncated stream
+    // into a container that then looks authoritative.
+    if let Some(e) = reader.error() {
+        let _ = std::fs::remove_file(&output);
+        fail(&format!("{input}: {e}"));
+    }
+    println!(
+        "wrote {output}: {} events in {} blocks ({} escapes), {} bytes \
+         ({:.2}x vs ChampSim), content hash {:016x}",
+        summary.events,
+        summary.blocks,
+        summary.escapes,
+        summary.bytes,
+        in_bytes as f64 / summary.bytes.max(1) as f64,
+        summary.content_hash,
+    );
+}
+
+fn trace_info(args: Vec<String>) {
+    let Some(path) = args.first() else {
+        fail("trace info expects a container file");
+    };
+    let info =
+        container::read_info(Path::new(path)).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("{path}:");
+    println!("  name          {}", info.name);
+    println!("  arch          {:?}", info.arch);
+    println!("  events        {}", info.total_events);
+    println!(
+        "  blocks        {} x {} events",
+        info.block_count, info.block_events
+    );
+    println!("  escapes       {}", info.escape_count);
+    println!("  content hash  {:016x}", info.content_hash);
+    println!("  file bytes    {bytes}");
+}
+
+fn trace_check(args: Vec<String>) {
+    let mut path: Option<String> = None;
+    let mut shards = 4usize;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--shards expects a number"));
+            }
+            "--help" | "-h" => {
+                println!("{TRACE_USAGE}");
+                return;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => fail(&format!("trace check: unexpected `{other}`")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("trace check expects a trace file"));
+    let shards = shards.max(2);
+
+    let proto = AnySource::open(&path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let Some(total) = proto.len_instrs() else {
+        fail("trace check needs a finite file-backed trace");
+    };
+    if total < 100 {
+        fail(&format!(
+            "{path}: only {total} instructions, too short to check"
+        ));
+    }
+    let warmup = total / 5;
+    let measure = total - warmup;
+
+    // Exact mode: commit width 1 puts chunk boundaries on commit
+    // boundaries, and a carry-in covering the whole prefix makes every
+    // shard replay the serial history — byte-identical stats for ANY
+    // trace, not just periodic ones (see EXPERIMENTS.md).
+    let mut config = SimConfig::with_fdip();
+    config.commit_width = 1;
+    let spec = BtbSpec::of(OrgKind::BtbX);
+
+    let serial = SimSession::new(proto.clone())
+        .btb_spec(spec)
+        .config(config.clone())
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .unwrap_or_else(|e| fail(&format!("serial replay: {e}")));
+    let sharded_started = std::time::Instant::now();
+    let sharded = {
+        let proto = proto.clone();
+        ParallelSession::new(move || proto.clone(), spec)
+            .config(config)
+            .warmup(warmup)
+            .measure(measure)
+            .shards(shards)
+            .carry_in(warmup + measure)
+            .run()
+            .unwrap_or_else(|e| fail(&format!("sharded replay: {e}")))
+    };
+    let sharded_wall = sharded_started.elapsed().as_secs_f64();
+
+    let serial_json = serde_json::to_string(&serial.stats).expect("stats serialize");
+    let sharded_json = serde_json::to_string(&sharded.result.stats).expect("stats serialize");
+    let telemetry = sharded.telemetry;
+    let setup_share = telemetry.serial_setup_seconds / sharded_wall.max(1e-9);
+    println!(
+        "{path}: {total} instructions, serial vs {shards} shards \
+         (warmup {warmup}, measure {measure})"
+    );
+    println!(
+        "  serial   {} instrs, {} cycles",
+        serial.stats.instructions, serial.stats.cycles
+    );
+    println!(
+        "  sharded  {} instrs, {} cycles",
+        sharded.result.stats.instructions, sharded.result.stats.cycles
+    );
+    println!(
+        "  telemetry: {} B peak event buffers, {:.2}% serial setup, \
+         {} instrs advanced",
+        telemetry.peak_event_buffer_bytes,
+        setup_share * 100.0,
+        telemetry.advanced_instructions,
+    );
+
+    let mut failures = Vec::new();
+    if serial_json != sharded_json {
+        failures.push("sharded stats differ from serial".to_string());
+    }
+    let buffer_cap = shards as u64 * EVENT_BLOCK_BYTES;
+    if telemetry.peak_event_buffer_bytes > buffer_cap {
+        failures.push(format!(
+            "peak event buffers {} B exceed one block per shard slot ({buffer_cap} B)",
+            telemetry.peak_event_buffer_bytes
+        ));
+    }
+    if setup_share > btbx_bench::perf::SETUP_SHARE_LIMIT {
+        failures.push(format!(
+            "serial setup share {:.2}% exceeds the {:.0}% streaming gate",
+            setup_share * 100.0,
+            btbx_bench::perf::SETUP_SHARE_LIMIT * 100.0
+        ));
+    }
+    if failures.is_empty() {
+        println!("  OK: sharded replay is byte-identical and fully streamed");
+    } else {
+        for f in &failures {
+            eprintln!("  FAIL: {f}");
+        }
         std::process::exit(1);
     }
 }

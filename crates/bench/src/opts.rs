@@ -28,6 +28,10 @@ pub struct HarnessOpts {
     /// replay each simulation as `N` interval shards with warm-up
     /// carry-in (see EXPERIMENTS.md, "Interval sharding").
     pub shards: usize,
+    /// Replay this `.btbt` trace container instead of the synthetic
+    /// suites (`sweep` substitutes it for the selected suite; `bench`
+    /// measures file-backed throughput on it).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -42,6 +46,7 @@ impl Default for HarnessOpts {
                 .map(|n| n.get())
                 .unwrap_or(2),
             shards: 1,
+            trace: None,
         }
     }
 }
@@ -93,6 +98,8 @@ options:
   --quick            preset: 150k warm-up / 300k measured windows
   --threads N        worker threads                        [all cores]
   --shards N         interval shards per simulation        [1]
+  --trace FILE       replay a .btbt trace container instead of the
+                     synthetic suites (see `btbx trace --help`)
   --fresh            re-simulate even when cached results exist
   --out DIR          artifact + cache directory            [results]
   -h, --help         show this help";
@@ -130,6 +137,13 @@ impl HarnessOpts {
                     opts.offset_instrs = 300_000;
                 }
                 "--fresh" => opts.fresh = true,
+                "--trace" => {
+                    let file = it.next().ok_or(OptError::BadValue {
+                        flag: "--trace".to_string(),
+                        found: None,
+                    })?;
+                    opts.trace = Some(PathBuf::from(file));
+                }
                 "--out" => {
                     let dir = it.next().ok_or(OptError::BadValue {
                         flag: "--out".to_string(),
@@ -195,6 +209,14 @@ mod tests {
         let o = parse(&["--out", "/tmp/x", "--fresh"]).unwrap();
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
         assert!(o.fresh);
+    }
+
+    #[test]
+    fn trace_file() {
+        assert_eq!(parse(&[]).unwrap().trace, None);
+        let o = parse(&["--trace", "/tmp/t.btbt"]).unwrap();
+        assert_eq!(o.trace, Some(PathBuf::from("/tmp/t.btbt")));
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

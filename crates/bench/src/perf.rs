@@ -45,11 +45,12 @@
 use crate::opts::HarnessOpts;
 use crate::report::write_artifact;
 use btbx_core::OrgKind;
+use btbx_trace::container::write_container;
 use btbx_trace::source::TraceSource;
-use btbx_trace::suite;
-use btbx_trace::synth::SynthCheckpoint;
+use btbx_trace::suite::WorkloadSpec;
+use btbx_trace::{suite, AnySource, PackedFileSource};
 use btbx_uarch::sim::EVENT_BLOCK_BYTES;
-use btbx_uarch::{CheckpointLadder, ParallelSession, SimConfig, SimSession};
+use btbx_uarch::{AnyLadder, ParallelSession, SimConfig, SimSession};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
@@ -131,10 +132,26 @@ pub struct BenchWindows {
     pub shards: usize,
 }
 
+/// Sequential decode throughput of the workload as a `.btbt` container:
+/// how fast file-backed events come off disk, the trace-side analogue of
+/// [`GenPass`] (schema v3, additive).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContainerRead {
+    /// Events decoded in the pass.
+    pub events: u64,
+    /// Container payload bytes behind them.
+    pub bytes: u64,
+    /// Wall-clock seconds of the decode pass.
+    pub seconds: f64,
+    /// `events / seconds`.
+    pub events_per_sec: f64,
+}
+
 /// The `BENCH_sim.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
-    /// Schema tag (`btbx-bench-sim/2` since the streaming fields landed).
+    /// Schema tag (`btbx-bench-sim/3` since the container-read field
+    /// landed; 2 added the streaming fields).
     pub schema: String,
     /// `smoke` or `full`.
     pub mode: String,
@@ -145,6 +162,10 @@ pub struct BenchReport {
     /// Generation-vs-simulation time split on this host.
     #[serde(default)]
     pub generation: GenPass,
+    /// Container sequential-decode throughput on this host (the bench
+    /// workload converted to `.btbt`, or the `--trace` file itself).
+    #[serde(default)]
+    pub container_read: ContainerRead,
     /// One row per (org, mode).
     pub entries: Vec<BenchEntry>,
     /// Per-org `sharded` over `serial` events/sec ratio.
@@ -194,22 +215,48 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
     // instructions, and the residual warm-up deficit on this
     // large-footprint workload is visible (deliberately) in the recorded
     // sharded `btb_mpki`.
-    let (warmup, measure, carry_in) = if smoke {
+    let (mut warmup, mut measure, mut carry_in) = if smoke {
         (400_000u64, 100_000u64, 10_000u64)
     } else {
         (2_000_000, 500_000, 40_000)
     };
-    let workload = suite::ipc1_server()
-        .into_iter()
-        .find(|w| w.name == "server_020")
-        .expect("calibrated suite contains server_020");
+    let workload = match &opts.trace {
+        Some(path) => WorkloadSpec::from_container(path)
+            .map_err(|e| format!("--trace {}: {e}", path.display()))?,
+        None => suite::ipc1_server()
+            .into_iter()
+            .find(|w| w.name == "server_020")
+            .expect("calibrated suite contains server_020"),
+    };
+    // All streams flow through the unified AnySource entry point; every
+    // entry (serial or sharded) clones this prototype, which is O(state)
+    // for the walker and O(1) for file-backed sources.
+    let proto = workload
+        .build_source()
+        .map_err(|e| format!("workload {}: {e}", workload.name))?;
+    if let Some(total) = proto.len_instrs() {
+        // A finite trace caps the windows: keep the 4:1 warm-up:measure
+        // shape inside what the file holds.
+        if warmup + measure > total {
+            warmup = total * 4 / 5;
+            measure = total - warmup;
+            carry_in = carry_in.min(warmup.max(1));
+            eprintln!(
+                "[bench] trace holds {total} instructions; windows scaled to \
+                 {warmup} warm-up / {measure} measured"
+            );
+        }
+        if measure == 0 {
+            return Err(format!("trace {} is empty", workload.name));
+        }
+    }
     let config = SimConfig::with_fdip();
 
     // One generation-only pass: (a) the generation-vs-simulation split
     // for the report, (b) comparable across hosts alongside events/sec.
     let gen_pass = {
         let start = Instant::now();
-        let mut trace = workload.build_trace();
+        let mut trace = proto.clone();
         let generated = trace.advance(warmup + measure);
         GenPass {
             instructions: generated,
@@ -218,10 +265,12 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         }
     };
 
+    let container_read = measure_container_read(opts, &workload, &proto, warmup + measure)?;
+
     // The checkpoint ladder shared by every sharded entry: positions
     // reached by any repetition are restored, not re-derived — the
     // steady state of a real multi-point sweep over one trace.
-    let ladder: CheckpointLadder<SynthCheckpoint> = CheckpointLadder::new();
+    let ladder: AnyLadder = AnyLadder::new();
 
     let mut entries: Vec<BenchEntry> = Vec::new();
     for org in OrgKind::PAPER_EVAL {
@@ -233,7 +282,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
             // entry below — the comparison is per-event dispatch cost.
             let engine = spec.build_engine().expect("paper spec is valid");
             let start = Instant::now();
-            let r = SimSession::new(workload.build_trace())
+            let r = SimSession::new(proto.clone())
                 .btb(engine)
                 .config(config.clone())
                 .label(org.id())
@@ -255,7 +304,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         let dyn_serial = best_of(|| {
             let btb = spec.build().expect("paper spec is valid");
             let start = Instant::now();
-            let r = SimSession::new(workload.build_trace())
+            let r = SimSession::new(proto.clone())
                 .btb(btb)
                 .config(config.clone())
                 .label(org.id())
@@ -274,10 +323,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         push_entry(&mut entries, org, "serial-dyn", dyn_serial);
 
         eprintln!("[bench] {}: sharded ×{SHARDS}…", org.id());
-        // The prototype walker is built once per bench; shards clone it
-        // (Arc-shared image, O(state)) — like the ladder, image
-        // construction amortizes across the whole sweep.
-        let proto = workload.build_trace();
+        let proto = proto.clone();
         let sharded = best_of(|| {
             let proto = proto.clone();
             let start = Instant::now();
@@ -336,7 +382,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
     };
 
     let report = BenchReport {
-        schema: "btbx-bench-sim/2".to_string(),
+        schema: "btbx-bench-sim/3".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workload: workload.name.clone(),
         windows: BenchWindows {
@@ -346,6 +392,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
             shards: SHARDS,
         },
         generation,
+        container_read,
         entries,
         speedup_sharded_vs_serial,
         speedup_static_vs_dyn,
@@ -374,6 +421,13 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         report.generation.seconds,
         report.generation.share_of_serial * 100.0
     );
+    println!(
+        "container decode pass: {} events ({} payload bytes) in {:.3}s = {:.0} events/sec",
+        report.container_read.events,
+        report.container_read.bytes,
+        report.container_read.seconds,
+        report.container_read.events_per_sec
+    );
     for (org, s) in &report.speedup_sharded_vs_serial {
         println!("speedup {org}: sharded×{SHARDS} vs serial = {s:.2}×");
     }
@@ -390,6 +444,60 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         check_baseline(&report, base_path)?;
     }
     Ok(())
+}
+
+/// Time one sequential decode pass over the workload as a `.btbt`
+/// container. With `--trace` the container already exists; synthetic
+/// workloads are converted once (the bench window) into
+/// `<out>/bench-<workload>.btbt` and read back.
+fn measure_container_read(
+    opts: &HarnessOpts,
+    workload: &WorkloadSpec,
+    proto: &AnySource,
+    window: u64,
+) -> Result<ContainerRead, String> {
+    let path = match &opts.trace {
+        Some(path) => path.clone(),
+        None => {
+            let path = opts.out_dir.join(format!("bench-{}.btbt", workload.name));
+            std::fs::create_dir_all(&opts.out_dir)
+                .map_err(|e| format!("creating {}: {e}", opts.out_dir.display()))?;
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            let mut source = proto.clone();
+            write_container(
+                file,
+                &workload.name,
+                workload.params.arch,
+                &mut source,
+                window,
+            )
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            path
+        }
+    };
+    let mut source =
+        PackedFileSource::open(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let total = source.info().total_events;
+    let mut block = btbx_trace::PackedBuf::with_capacity(4096);
+    let start = Instant::now();
+    let mut events = 0u64;
+    loop {
+        block.clear();
+        let n = source.fill_block(&mut block, 4096);
+        if n == 0 {
+            break;
+        }
+        events += n as u64;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    debug_assert_eq!(events, total);
+    Ok(ContainerRead {
+        events,
+        bytes: events * 16,
+        seconds,
+        events_per_sec: events as f64 / seconds.max(1e-9),
+    })
 }
 
 fn push_entry(entries: &mut Vec<BenchEntry>, org: OrgKind, mode: &str, t: Timed) {
@@ -523,7 +631,7 @@ mod tests {
 
     fn report_with(entries: Vec<BenchEntry>) -> BenchReport {
         BenchReport {
-            schema: "btbx-bench-sim/2".into(),
+            schema: "btbx-bench-sim/3".into(),
             mode: "smoke".into(),
             workload: "w".into(),
             windows: BenchWindows {
@@ -533,6 +641,7 @@ mod tests {
                 shards: SHARDS,
             },
             generation: GenPass::default(),
+            container_read: ContainerRead::default(),
             entries,
             speedup_sharded_vs_serial: vec![],
             speedup_static_vs_dyn: vec![],

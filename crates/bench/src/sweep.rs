@@ -45,7 +45,12 @@ use std::path::{Path, PathBuf};
 
 /// Bump to invalidate every cached simulation (simulator semantics
 /// changed, stats gained fields, …).
-pub const CACHE_VERSION: u32 = 1;
+///
+/// v2: `WorkloadSpec` gained the `trace` field, which changed the
+/// serialized form of every point (`"trace":null` on synthetic ones) —
+/// the bump makes the resulting whole-cache invalidation explicit
+/// rather than an accident of the hash payload.
+pub const CACHE_VERSION: u32 = 2;
 
 /// One cell of a sweep: everything that determines one simulation result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,8 +79,22 @@ impl SimPoint {
     }
 
     /// Content hash identifying this point (and [`CACHE_VERSION`]).
+    ///
+    /// For file-backed workloads the trace's identity is the container's
+    /// **content hash**, never its path: the path is blanked before
+    /// hashing, so moving or renaming a container keeps its cached
+    /// results while changing its contents invalidates them.
     pub fn cache_key(&self) -> String {
-        let payload = serde_json::to_string(self).expect("points serialize");
+        let payload = if self.workload.trace.is_some() {
+            let mut normalized = self.clone();
+            if let Some(tref) = &mut normalized.workload.trace {
+                tref.path = PathBuf::new();
+            }
+            serde_json::to_string(&normalized)
+        } else {
+            serde_json::to_string(self)
+        }
+        .expect("points serialize");
         format!("{:016x}", fnv1a(payload.as_bytes(), CACHE_VERSION as u64))
     }
 
@@ -89,9 +108,23 @@ impl SimPoint {
         )
     }
 
+    /// Build this point's trace stream through the unified
+    /// [`btbx_trace::AnySource`] entry point (synthetic or file-backed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a referenced trace container is missing or its
+    /// content hash no longer matches (the sweep's results would
+    /// silently describe a different trace otherwise).
+    fn source(&self) -> btbx_trace::AnySource {
+        self.workload
+            .build_source()
+            .unwrap_or_else(|e| panic!("sim point {}: {e}", self.cache_file()))
+    }
+
     /// Run the simulation for this point (no caching).
     pub fn run(&self) -> SimResult {
-        SimSession::new(self.workload.build_trace())
+        SimSession::new(self.source())
             .btb_spec(self.btb_spec())
             .config(self.config.clone())
             .label(self.org.id())
@@ -110,9 +143,11 @@ impl SimPoint {
         if shards <= 1 {
             return self.run();
         }
-        // Build the program image once; shards clone the walker (the
-        // image is Arc-shared, so each clone is O(dynamic state)).
-        let proto = self.workload.build_trace();
+        // Build the stream once; shards clone it (synthetic images are
+        // Arc-shared so a walker clone is O(dynamic state); file-backed
+        // sources share the handle, index and escape table, so a clone
+        // is O(1) and each shard streams its own blocks).
+        let proto = self.source();
         ParallelSession::new(move || proto.clone(), self.btb_spec())
             .config(self.config.clone())
             .label(self.org.id())
@@ -356,6 +391,7 @@ mod tests {
             out_dir: std::env::temp_dir().join(dir),
             threads: 2,
             shards: 1,
+            trace: None,
         }
     }
 
@@ -490,6 +526,71 @@ mod tests {
         let r2 = sweep.run(&opts);
         assert_eq!(r1[0].stats.instructions, r2[0].stats.instructions);
         let _ = fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn file_backed_points_cache_on_content_not_path() {
+        use btbx_trace::container::write_container;
+        use btbx_trace::source::VecSource;
+        use btbx_trace::{TraceInstr, WorkloadSpec};
+
+        let dir = std::env::temp_dir().join("btbx-sweep-filecache");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let instrs: Vec<TraceInstr> = (0..60_000u64)
+            .map(|i| TraceInstr::other(0x1000 + (i % 512) * 4, 4))
+            .collect();
+        let write = |path: &Path, instrs: &[TraceInstr]| {
+            let mut src = VecSource::new("filetrace", instrs.to_vec());
+            write_container(
+                fs::File::create(path).unwrap(),
+                "filetrace",
+                btbx_core::Arch::Arm64,
+                &mut src,
+                u64::MAX,
+            )
+            .unwrap();
+        };
+        let path_a = dir.join("a.btbt");
+        write(&path_a, &instrs);
+
+        let sweep_for = |path: &Path| {
+            Sweep::named("file")
+                .workloads([WorkloadSpec::from_container(path).unwrap()])
+                .orgs([OrgKind::Conv])
+                .budgets([BudgetPoint::Kb0_9])
+                .fdip_options([false])
+                .windows(2_000, 4_000)
+        };
+        let key_a = sweep_for(&path_a).points()[0].cache_key();
+
+        // Same container under another path: identical cache key.
+        let path_b = dir.join("moved").join("b.btbt");
+        fs::create_dir_all(path_b.parent().unwrap()).unwrap();
+        fs::copy(&path_a, &path_b).unwrap();
+        assert_eq!(sweep_for(&path_b).points()[0].cache_key(), key_a);
+
+        // Different contents under the same name: different key.
+        let path_c = dir.join("c.btbt");
+        write(&path_c, &instrs[..50_000]);
+        assert_ne!(sweep_for(&path_c).points()[0].cache_key(), key_a);
+
+        // End-to-end: file-backed points run, cache, and replay from
+        // the cache byte-identically, serial and sharded.
+        let mut opts = tiny_opts("btbx-sweep-filerun");
+        let _ = fs::remove_dir_all(&opts.out_dir);
+        let r1 = sweep_for(&path_a).run(&opts);
+        assert!((4_000..4_006).contains(&r1[0].stats.instructions));
+        let r2 = sweep_for(&path_b).run(&opts);
+        assert_eq!(
+            r1[0].stats.cycles, r2[0].stats.cycles,
+            "cache hit across paths"
+        );
+        opts.shards = 2;
+        let r3 = sweep_for(&path_a).run(&opts);
+        assert!(r3[0].stats.instructions >= 4_000, "sharded file-backed run");
+        let _ = fs::remove_dir_all(&opts.out_dir);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,12 +24,52 @@
 //! traces into the same format for interoperability.
 
 use crate::record::{MemAccess, Op, TraceInstr};
-use crate::source::TraceSource;
+use crate::source::{SeekableSource, TraceSource};
 use btbx_core::types::{BranchClass, BranchEvent};
-use std::io::{self, Read, Write};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// Size of one `input_instr` record in bytes.
 pub const RECORD_BYTES: usize = 64;
+
+/// Why a ChampSim byte stream stopped being parseable, pinned to the
+/// byte offset where the damage starts.
+#[derive(Debug)]
+pub enum ChampSimError {
+    /// The stream ended inside a record: `got` of the 64 bytes arrived.
+    /// Typical of interrupted downloads and truncated conversions.
+    TruncatedRecord {
+        /// Byte offset of the partial record.
+        offset: u64,
+        /// Bytes of it that were present.
+        got: usize,
+    },
+    /// The underlying reader failed at the given byte offset.
+    Io {
+        /// Byte offset where the read failed.
+        offset: u64,
+        /// The underlying error.
+        error: io::Error,
+    },
+}
+
+impl std::fmt::Display for ChampSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChampSimError::TruncatedRecord { offset, got } => write!(
+                f,
+                "truncated ChampSim record at byte {offset}: {got} of {RECORD_BYTES} bytes"
+            ),
+            ChampSimError::Io { offset, error } => {
+                write!(f, "I/O error at byte {offset} of ChampSim stream: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChampSimError {}
 
 /// ChampSim's special register numbers (x86 translation convention).
 pub mod reg {
@@ -170,6 +210,9 @@ pub struct ChampSimReader<R> {
     /// addresses (IPC-1 traces are Arm64: 4 bytes).
     pub instr_size: u8,
     eof: bool,
+    /// Bytes consumed from `input` so far.
+    offset: u64,
+    error: Option<ChampSimError>,
 }
 
 impl<R: Read> ChampSimReader<R> {
@@ -181,6 +224,29 @@ impl<R: Read> ChampSimReader<R> {
             pending: None,
             instr_size: 4,
             eof: false,
+            offset: 0,
+            error: None,
+        }
+    }
+
+    /// Why the stream stopped, if it stopped on damage rather than a
+    /// clean end. `next_instr` returning `None` means *either* end of
+    /// trace or an error; callers that must distinguish (converters,
+    /// strict replays) check here afterwards. The reader never resumes
+    /// past an error.
+    pub fn error(&self) -> Option<&ChampSimError> {
+        self.error.as_ref()
+    }
+
+    /// Consume the reader, surfacing any stream damage as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// The [`ChampSimError`] that stopped the stream, if any.
+    pub fn into_result(self) -> Result<(), ChampSimError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -194,48 +260,68 @@ impl<R: Read> ChampSimReader<R> {
             match self.input.read(&mut buf[filled..]) {
                 Ok(0) => {
                     self.eof = true;
-                    return None; // truncated tail records are dropped
+                    if filled > 0 {
+                        // A partial record is damage, not end-of-trace:
+                        // report where it starts instead of dropping it
+                        // silently.
+                        self.error = Some(ChampSimError::TruncatedRecord {
+                            offset: self.offset,
+                            got: filled,
+                        });
+                    }
+                    return None;
                 }
                 Ok(n) => filled += n,
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
+                Err(e) => {
                     self.eof = true;
+                    self.error = Some(ChampSimError::Io {
+                        offset: self.offset + filled as u64,
+                        error: e,
+                    });
                     return None;
                 }
             }
         }
+        self.offset += RECORD_BYTES as u64;
         Some(InputInstr::from_bytes(&buf))
     }
 
     fn convert(&self, cur: InputInstr, next: Option<&InputInstr>) -> TraceInstr {
-        let size = self.instr_size;
-        if let Some(class) = cur.classify() {
-            let fallthrough = cur.ip + size as u64;
-            let taken = cur.branch_taken != 0;
-            let target = if taken {
-                next.map_or(fallthrough, |n| n.ip)
-            } else {
-                fallthrough
-            };
-            return TraceInstr::branch(
-                cur.ip,
-                size,
-                BranchEvent {
-                    pc: cur.ip,
-                    target,
-                    class,
-                    taken,
-                },
-            );
-        }
-        if cur.source_memory[0] != 0 {
-            return TraceInstr::mem(cur.ip, size, MemAccess::Load(cur.source_memory[0]));
-        }
-        if cur.destination_memory[0] != 0 {
-            return TraceInstr::mem(cur.ip, size, MemAccess::Store(cur.destination_memory[0]));
-        }
-        TraceInstr::other(cur.ip, size)
+        convert_record(cur, next, self.instr_size)
     }
+}
+
+/// Turn one ChampSim record into a [`TraceInstr`], deriving the taken
+/// target from the next record's `ip` exactly as ChampSim does (see the
+/// [`ChampSimReader`] docs for the not-taken convention).
+fn convert_record(cur: InputInstr, next: Option<&InputInstr>, size: u8) -> TraceInstr {
+    if let Some(class) = cur.classify() {
+        let fallthrough = cur.ip + size as u64;
+        let taken = cur.branch_taken != 0;
+        let target = if taken {
+            next.map_or(fallthrough, |n| n.ip)
+        } else {
+            fallthrough
+        };
+        return TraceInstr::branch(
+            cur.ip,
+            size,
+            BranchEvent {
+                pc: cur.ip,
+                target,
+                class,
+                taken,
+            },
+        );
+    }
+    if cur.source_memory[0] != 0 {
+        return TraceInstr::mem(cur.ip, size, MemAccess::Load(cur.source_memory[0]));
+    }
+    if cur.destination_memory[0] != 0 {
+        return TraceInstr::mem(cur.ip, size, MemAccess::Store(cur.destination_memory[0]));
+    }
+    TraceInstr::other(cur.ip, size)
 }
 
 impl<R: Read> TraceSource for ChampSimReader<R> {
@@ -284,6 +370,189 @@ pub fn write_champsim<W: Write>(
         written += 1;
     }
     Ok(written)
+}
+
+/// A seekable [`TraceSource`] over an *uncompressed* ChampSim trace
+/// file: because records are fixed 64-byte cells, instruction `i` lives
+/// at byte `i × 64` and a checkpoint is just the instruction index —
+/// `checkpoint`/`restore`/`seek` are O(1) plus one buffered re-read.
+/// This is the `champsim` arm of [`crate::any::AnySource`]; prefer
+/// converting to a `.btbt` container (`btbx trace convert`) for
+/// repeated runs, which decodes ~4× fewer bytes per event.
+///
+/// Malformed tails are rejected *at open* (the file length exposes a
+/// partial trailing record immediately), so replay never silently drops
+/// records the way a forward-only stream reader has to.
+#[derive(Debug)]
+pub struct ChampSimFileSource {
+    file: Arc<Mutex<File>>,
+    name: String,
+    /// Whole records in the file.
+    records: u64,
+    /// Instructions emitted (= index of the next record to convert).
+    pos: u64,
+    /// Buffered window of raw records: covers indices
+    /// `[buf_first, buf_first + buf.len()/64)`.
+    buf: Vec<u8>,
+    buf_first: u64,
+    instr_size: u8,
+}
+
+/// Snapshot of a [`ChampSimFileSource`]: the instruction index plus the
+/// record count as a cheap foreign-stream guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChampSimCheckpoint {
+    pos: u64,
+    records: u64,
+}
+
+/// Records buffered per read window (64 KiB of file bytes).
+const FILE_CHUNK_RECORDS: u64 = 1024;
+
+impl ChampSimFileSource {
+    /// Open an uncompressed ChampSim trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`ChampSimError::Io`] when the file cannot be opened or sized;
+    /// [`ChampSimError::TruncatedRecord`] when the length is not a
+    /// multiple of [`RECORD_BYTES`] (a partial trailing record).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ChampSimError> {
+        let path = path.as_ref();
+        let io_err = |error| ChampSimError::Io { offset: 0, error };
+        let file = File::open(path).map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        let partial = len % RECORD_BYTES as u64;
+        if partial != 0 {
+            return Err(ChampSimError::TruncatedRecord {
+                offset: len - partial,
+                got: partial as usize,
+            });
+        }
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "champsim".to_string());
+        Ok(ChampSimFileSource {
+            file: Arc::new(Mutex::new(file)),
+            name,
+            records: len / RECORD_BYTES as u64,
+            pos: 0,
+            buf: Vec::new(),
+            buf_first: 0,
+            instr_size: 4,
+        })
+    }
+
+    /// Total instructions in the trace.
+    pub fn len_instrs(&self) -> u64 {
+        self.records
+    }
+
+    /// Override the fixed instruction size assumed when reconstructing
+    /// fall-through addresses (default 4, the Arm64/IPC-1 convention —
+    /// ChampSim records carry no size field, so x86 streams need an
+    /// explicit, necessarily approximate choice).
+    pub fn with_instr_size(mut self, size: u8) -> Self {
+        self.instr_size = size;
+        self
+    }
+
+    /// Fetch record `i`, reading a fresh 64 KiB window when the buffer
+    /// does not cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file shrinks or a read fails *after* open
+    /// (open-time validation sized the whole file): replay cannot
+    /// continue soundly past missing bytes, and `TraceSource` has no
+    /// error channel, so external interference is loud by design —
+    /// inside a sharded run the runner converts the panic into a failed
+    /// run labelled with the shard.
+    fn record_at(&mut self, i: u64) -> Option<InputInstr> {
+        if i >= self.records {
+            return None;
+        }
+        let buffered = (self.buf.len() / RECORD_BYTES) as u64;
+        if i < self.buf_first || i >= self.buf_first + buffered {
+            let first = i;
+            let count = FILE_CHUNK_RECORDS.min(self.records - first);
+            self.buf.resize(count as usize * RECORD_BYTES, 0);
+            let mut file = self.file.lock().unwrap();
+            file.seek(SeekFrom::Start(first * RECORD_BYTES as u64))
+                .expect("seeking a sized ChampSim trace");
+            file.read_exact(&mut self.buf)
+                .expect("reading a sized ChampSim trace");
+            self.buf_first = first;
+        }
+        let at = (i - self.buf_first) as usize * RECORD_BYTES;
+        let cell: &[u8; RECORD_BYTES] = self.buf[at..at + RECORD_BYTES].try_into().unwrap();
+        Some(InputInstr::from_bytes(cell))
+    }
+}
+
+impl Clone for ChampSimFileSource {
+    /// Clones share the file handle; cursor and read buffer are
+    /// per-instance.
+    fn clone(&self) -> Self {
+        ChampSimFileSource {
+            file: Arc::clone(&self.file),
+            name: self.name.clone(),
+            records: self.records,
+            pos: self.pos,
+            buf: Vec::new(),
+            buf_first: 0,
+            instr_size: self.instr_size,
+        }
+    }
+}
+
+impl TraceSource for ChampSimFileSource {
+    fn next_instr(&mut self) -> Option<TraceInstr> {
+        let cur = self.record_at(self.pos)?;
+        let next = self.record_at(self.pos + 1);
+        self.pos += 1;
+        Some(convert_record(cur, next.as_ref(), self.instr_size))
+    }
+
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+
+    fn advance(&mut self, n: u64) -> u64 {
+        let left = self.records - self.pos;
+        let skipped = n.min(left);
+        self.pos += skipped;
+        skipped
+    }
+}
+
+impl SeekableSource for ChampSimFileSource {
+    type Checkpoint = ChampSimCheckpoint;
+
+    fn position(&self) -> u64 {
+        self.pos
+    }
+
+    fn checkpoint(&self) -> ChampSimCheckpoint {
+        ChampSimCheckpoint {
+            pos: self.pos,
+            records: self.records,
+        }
+    }
+
+    fn restore(&mut self, cp: &ChampSimCheckpoint) {
+        assert_eq!(
+            cp.records, self.records,
+            "checkpoint from a different trace (record count mismatch)"
+        );
+        self.pos = cp.pos;
+    }
+
+    fn seek(&mut self, n: u64) -> u64 {
+        self.pos = n.min(self.records);
+        self.pos
+    }
 }
 
 #[cfg(test)]
@@ -396,14 +665,160 @@ mod tests {
     }
 
     #[test]
-    fn truncated_trailing_record_is_dropped() {
+    fn truncated_trailing_record_is_a_typed_error() {
         let rec = InputInstr {
             ip: 0x1000,
             ..InputInstr::default()
         };
         let mut bytes = rec.to_bytes().to_vec();
-        bytes.extend_from_slice(&[1, 2, 3]); // garbage tail
-        let reader = ChampSimReader::new(&bytes[..], "trunc");
-        assert_eq!(reader.into_iter_instrs().count(), 1);
+        bytes.extend_from_slice(&[1, 2, 3]); // partial second record
+        let mut reader = ChampSimReader::new(&bytes[..], "trunc");
+        assert_eq!(reader.next_instr().unwrap().pc, 0x1000);
+        assert!(reader.next_instr().is_none(), "partial record not emitted");
+        match reader.error() {
+            Some(ChampSimError::TruncatedRecord { offset, got }) => {
+                assert_eq!(*offset, RECORD_BYTES as u64, "damage starts after rec 0");
+                assert_eq!(*got, 3);
+            }
+            other => panic!("expected TruncatedRecord, got {other:?}"),
+        }
+        let err = reader.into_result().unwrap_err();
+        assert!(err.to_string().contains("byte 64"), "{err}");
+    }
+
+    #[test]
+    fn clean_end_of_trace_reports_no_error() {
+        let bytes = InputInstr::default().to_bytes();
+        let mut reader = ChampSimReader::new(&bytes[..], "clean");
+        assert!(reader.next_instr().is_some());
+        assert!(reader.next_instr().is_none());
+        assert!(reader.error().is_none());
+        assert!(reader.into_result().is_ok());
+    }
+
+    /// A reader that yields some whole records, then fails.
+    struct FailAfter {
+        bytes: Vec<u8>,
+        served: usize,
+    }
+
+    impl io::Read for FailAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.served >= self.bytes.len() {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "link died"));
+            }
+            let n = buf.len().min(self.bytes.len() - self.served);
+            buf[..n].copy_from_slice(&self.bytes[self.served..self.served + n]);
+            self.served += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn io_failures_are_typed_errors_with_offsets() {
+        let mut bytes = Vec::new();
+        for ip in [0x10u64, 0x20] {
+            bytes.extend_from_slice(
+                &InputInstr {
+                    ip,
+                    ..InputInstr::default()
+                }
+                .to_bytes(),
+            );
+        }
+        let mut reader = ChampSimReader::new(FailAfter { bytes, served: 0 }, "io");
+        assert!(reader.next_instr().is_some());
+        // Record 1 is pending (lookahead); record 2's read fails.
+        assert!(reader.next_instr().is_some());
+        assert!(reader.next_instr().is_none());
+        match reader.error() {
+            Some(ChampSimError::Io { offset, error }) => {
+                assert_eq!(*offset, 2 * RECORD_BYTES as u64);
+                assert_eq!(error.kind(), io::ErrorKind::BrokenPipe);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    fn temp_trace(tag: &str, records: &[InputInstr]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("btbx-champsim-{tag}-{}", std::process::id()));
+        let mut bytes = Vec::new();
+        for r in records {
+            bytes.extend_from_slice(&r.to_bytes());
+        }
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    fn jump_chain(n: u64) -> Vec<InputInstr> {
+        let (dst, src) = InputInstr::registers_for(BranchClass::UncondDirect);
+        (0..n)
+            .map(|i| InputInstr {
+                ip: 0x1000 + i * 0x100,
+                is_branch: 1,
+                branch_taken: 1,
+                destination_registers: dst,
+                source_registers: src,
+                ..InputInstr::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn file_source_matches_the_streaming_reader() {
+        let recs = jump_chain(2500); // spans two buffered windows
+        let path = temp_trace("match", &recs);
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&r.to_bytes());
+        }
+        let streamed: Vec<TraceInstr> = ChampSimReader::new(&bytes[..], "s")
+            .into_iter_instrs()
+            .collect();
+        let source = ChampSimFileSource::open(&path).unwrap();
+        assert_eq!(source.len_instrs(), 2500);
+        let filed: Vec<TraceInstr> = source.into_iter_instrs().collect();
+        assert_eq!(filed, streamed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_source_seeks_and_restores_in_o1() {
+        let recs = jump_chain(2000);
+        let path = temp_trace("seek", &recs);
+        let mut s = ChampSimFileSource::open(&path).unwrap();
+        let all: Vec<TraceInstr> = s.clone().into_iter_instrs().collect();
+        s.seek(1500);
+        assert_eq!(s.next_instr().unwrap(), all[1500]);
+        let cp = s.checkpoint();
+        s.seek(10);
+        assert_eq!(s.next_instr().unwrap(), all[10], "seek rewinds");
+        s.restore(&cp);
+        assert_eq!(s.next_instr().unwrap(), all[1501]);
+        assert_eq!(s.seek(1 << 40), 2000, "clamped to end");
+        assert!(s.next_instr().is_none());
+
+        let mut b = s.clone();
+        b.seek(7);
+        s.seek(9);
+        assert_eq!(b.position(), 7, "clones position independently");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_source_rejects_partial_tails_at_open() {
+        let recs = jump_chain(3);
+        let path = temp_trace("tail", &recs);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAA; 10]);
+        std::fs::write(&path, &bytes).unwrap();
+        match ChampSimFileSource::open(&path) {
+            Err(ChampSimError::TruncatedRecord { offset, got }) => {
+                assert_eq!(offset, 3 * RECORD_BYTES as u64);
+                assert_eq!(got, 10);
+            }
+            other => panic!("expected TruncatedRecord, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -11,12 +11,19 @@
 //!   combinators (`take`, `skip`) used by the simulator;
 //! * [`champsim`] — a parser/writer for the 64-byte ChampSim
 //!   `input_instr` format, including ChampSim's register-based branch
-//!   classification, so real IPC-1 traces can be fed in when available;
+//!   classification, so real IPC-1 traces can be fed in when available,
+//!   plus a seekable file-backed reader with typed truncation errors;
 //! * [`codec`] — a compact varint-encoded native trace format with
 //!   round-trip guarantees;
 //! * [`packed`] — 16-byte-per-event SoA buffers ([`PackedBuf`]) for the
 //!   few places that still buffer events, and [`PackedSource`] to replay
 //!   them;
+//! * [`container`] — the on-disk `.btbt` form of the packed format: an
+//!   indexed block container whose [`PackedFileSource`] seeks in O(1),
+//!   bringing file-backed traces onto the sharded streaming engine;
+//! * [`any`] — [`AnySource`], the unified
+//!   synthetic / ChampSim / packed-file entry point every consumer
+//!   (sessions, sweeps, benches) builds its streams through;
 //! * [`synth`] — the synthetic workload generator: a seeded program image
 //!   (functions, basic blocks, calls across pages and library regions)
 //!   plus a dynamic walker that emits instruction streams whose branch
@@ -28,8 +35,10 @@
 //! * [`stats`] — trace-level statistics (dynamic branch mix, working-set
 //!   sizes, offset histogram feed).
 
+pub mod any;
 pub mod champsim;
 pub mod codec;
+pub mod container;
 pub mod packed;
 pub mod record;
 pub mod source;
@@ -37,9 +46,11 @@ pub mod stats;
 pub mod suite;
 pub mod synth;
 
+pub use any::{AnyCheckpoint, AnySource, TraceOpenError};
+pub use container::{ContainerInfo, ContainerWriter, PackedFileSource};
 pub use packed::{PackedBuf, PackedInstr, PackedSource};
 pub use record::{MemAccess, Op, TraceInstr};
 pub use source::{SeekableSource, TraceSource};
 pub use stats::TraceStats;
-pub use suite::{Suite, WorkloadSpec};
+pub use suite::{Suite, TraceRef, WorkloadSpec};
 pub use synth::{SynthCheckpoint, SynthParams, SyntheticTrace};

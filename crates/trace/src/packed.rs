@@ -33,20 +33,20 @@ use btbx_core::types::{BranchClass, BranchEvent};
 const ADDR_BITS: u32 = 48;
 const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
 const SIZE_SHIFT: u32 = 48;
-const KIND_SHIFT: u32 = 56;
+pub(crate) const KIND_SHIFT: u32 = 56;
 const TAKEN_SHIFT: u32 = 60;
 const KIND_OTHER: u64 = 0;
 const KIND_LOAD: u64 = 1;
 const KIND_STORE: u64 = 2;
 const KIND_BRANCH0: u64 = 3;
-const KIND_ESCAPE: u64 = 15;
+pub(crate) const KIND_ESCAPE: u64 = 15;
 
 /// One instruction packed into 16 bytes. See the module docs for the
 /// bit layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PackedInstr {
-    lo: u64,
-    hi: u64,
+    pub(crate) lo: u64,
+    pub(crate) hi: u64,
 }
 
 impl PackedInstr {

@@ -11,11 +11,14 @@
 //! * [`Suite::X86Apps`] — the five x86 server applications of Figure 13:
 //!   Wordpress, Mediawiki, Drupal, Kafka and Finagle-HTTP.
 
+use crate::any::{AnySource, TraceOpenError};
+use crate::container::{self, PackedFileSource};
 use crate::synth::{ProgramImage, SynthParams, SyntheticTrace};
 use btbx_core::types::Arch;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
-/// The four workload families of the paper.
+/// The four workload families of the paper, plus on-disk trace files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Suite {
     /// IPC-1 client traces (small footprints).
@@ -26,6 +29,9 @@ pub enum Suite {
     Cvp1,
     /// x86 server applications (Figure 13).
     X86Apps,
+    /// A real trace file (`.btbt` container) rather than a synthetic
+    /// family — how genuine IPC-1-style traces enter the harness.
+    TraceFile,
 }
 
 impl Suite {
@@ -36,38 +42,130 @@ impl Suite {
             Suite::Ipc1Server => "ipc1-server",
             Suite::Cvp1 => "cvp1",
             Suite::X86Apps => "x86-apps",
+            Suite::TraceFile => "trace-file",
         }
     }
 }
 
-/// A fully specified synthetic workload.
+/// Reference to an on-disk `.btbt` trace container.
+///
+/// The `content_hash` (from the container header) is the trace's
+/// identity: result caches key on it, never on `path`, so moving or
+/// renaming a container keeps its cached results, while swapping the
+/// file's contents under the same path invalidates them (and is caught
+/// at open by [`WorkloadSpec::build_source`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRef {
+    /// Where the container currently lives. Not part of the trace's
+    /// identity.
+    pub path: PathBuf,
+    /// Content hash from the container header.
+    pub content_hash: u64,
+}
+
+/// A fully specified workload: a synthetic generator configuration, or a
+/// reference to a trace container when [`trace`](Self::trace) is set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
-    /// Workload name (`server_032`, `wordpress`, …).
+    /// Workload name (`server_032`, `wordpress`, a trace's stream name…).
     pub name: String,
     /// Owning suite.
     pub suite: Suite,
-    /// Generator seed (image and walker derive from it).
+    /// Generator seed (image and walker derive from it; unused for
+    /// file-backed workloads).
     pub seed: u64,
-    /// Generator parameters.
+    /// Generator parameters. For file-backed workloads only
+    /// `params.arch` is meaningful (taken from the container header).
     pub params: SynthParams,
+    /// Set for file-backed workloads: the container this spec replays.
+    #[serde(default)]
+    pub trace: Option<TraceRef>,
 }
 
 impl WorkloadSpec {
+    /// Describe the `.btbt` container at `path` as a workload: reads the
+    /// header for the stream name, architecture and content hash.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceOpenError`] when the file is not a readable container.
+    pub fn from_container(path: impl AsRef<Path>) -> Result<WorkloadSpec, TraceOpenError> {
+        let path = path.as_ref();
+        let info = container::read_info(path).map_err(TraceOpenError::Container)?;
+        let mut params = SynthParams::server(100);
+        params.arch = info.arch;
+        Ok(WorkloadSpec {
+            name: info.name,
+            suite: Suite::TraceFile,
+            seed: 0,
+            params,
+            trace: Some(TraceRef {
+                path: path.to_path_buf(),
+                content_hash: info.content_hash,
+            }),
+        })
+    }
+
     /// Generate the program image for this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics for file-backed workloads, which have no generator image.
     pub fn build_image(&self) -> ProgramImage {
+        assert!(
+            self.trace.is_none(),
+            "file-backed workload `{}` has no synthetic image",
+            self.name
+        );
         ProgramImage::generate(&self.params, self.seed)
     }
 
     /// Generate the executable trace for this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics for file-backed workloads; use
+    /// [`build_source`](Self::build_source), which covers both kinds.
     pub fn build_trace(&self) -> SyntheticTrace {
         SyntheticTrace::new(self.build_image(), self.name.clone(), self.seed)
     }
 
+    /// Build the trace stream for this workload — the entry point that
+    /// covers synthetic and file-backed workloads alike, and the one
+    /// sharded sessions clone per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceOpenError`] when a referenced container is missing,
+    /// invalid, or its content hash no longer matches the reference
+    /// (the file was swapped since the spec was made).
+    pub fn build_source(&self) -> Result<AnySource, TraceOpenError> {
+        match &self.trace {
+            None => Ok(AnySource::Synth(self.build_trace())),
+            Some(tref) => {
+                let source =
+                    PackedFileSource::open(&tref.path).map_err(TraceOpenError::Container)?;
+                if source.info().content_hash != tref.content_hash {
+                    return Err(TraceOpenError::Container(
+                        crate::container::ContainerError::Corrupt(
+                            "container content changed since the workload spec was made \
+                             (content hash mismatch)",
+                        ),
+                    ));
+                }
+                Ok(AnySource::Packed(source))
+            }
+        }
+    }
+
     /// `true` for server-class workloads (used when aggregating figures
-    /// into server/client groups).
+    /// into server/client groups). File-backed traces count as server
+    /// workloads: the paper's trace-driven inputs are server traces.
     pub fn is_server(&self) -> bool {
-        matches!(self.suite, Suite::Ipc1Server | Suite::Cvp1 | Suite::X86Apps)
+        matches!(
+            self.suite,
+            Suite::Ipc1Server | Suite::Cvp1 | Suite::X86Apps | Suite::TraceFile
+        )
     }
 }
 
@@ -85,6 +183,7 @@ pub fn ipc1_client() -> Vec<WorkloadSpec> {
                 suite: Suite::Ipc1Client,
                 seed: 0xC11E_0000 + i,
                 params,
+                trace: None,
             }
         })
         .collect()
@@ -125,6 +224,7 @@ pub fn ipc1_server() -> Vec<WorkloadSpec> {
                 suite: Suite::Ipc1Server,
                 seed: 0x5E4E_0000 + id as u64,
                 params,
+                trace: None,
             }
         })
         .collect()
@@ -150,6 +250,7 @@ pub fn cvp1(n: usize) -> Vec<WorkloadSpec> {
                 suite: Suite::Cvp1,
                 seed: 0xC4B1_0000 + i,
                 params,
+                trace: None,
             }
         })
         .collect()
@@ -166,6 +267,7 @@ pub fn x86_apps() -> Vec<WorkloadSpec> {
             suite: Suite::X86Apps,
             seed,
             params,
+            trace: None,
         }
     };
     vec![
@@ -240,6 +342,89 @@ mod tests {
             assert!(t.next_instr().is_some());
         }
         assert_eq!(t.source_name(), "client_001");
+    }
+
+    #[test]
+    fn file_backed_specs_describe_and_replay_containers() {
+        use crate::container::write_container;
+        use crate::record::TraceInstr;
+        use crate::source::VecSource;
+
+        let path = std::env::temp_dir().join(format!("btbx-suite-file-{}", std::process::id()));
+        let instrs: Vec<TraceInstr> = (0..300).map(|i| TraceInstr::other(i * 4, 4)).collect();
+        let mut src = VecSource::new("real_server_trace", instrs.clone());
+        let summary = write_container(
+            std::fs::File::create(&path).unwrap(),
+            "real_server_trace",
+            Arch::X86,
+            &mut src,
+            u64::MAX,
+        )
+        .unwrap();
+
+        let spec = WorkloadSpec::from_container(&path).unwrap();
+        assert_eq!(spec.name, "real_server_trace");
+        assert_eq!(spec.suite, Suite::TraceFile);
+        assert_eq!(spec.params.arch, Arch::X86);
+        assert!(spec.is_server());
+        let tref = spec.trace.as_ref().unwrap();
+        assert_eq!(tref.content_hash, summary.content_hash);
+
+        let mut source = spec.build_source().unwrap();
+        assert_eq!(source.source_name(), "real_server_trace");
+        assert_eq!(source.next_instr().unwrap(), instrs[0]);
+
+        // Survives serde (how sweeps persist specs).
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+
+        // A swapped file under the same path is refused.
+        let mut other = VecSource::new("real_server_trace", instrs[..100].to_vec());
+        write_container(
+            std::fs::File::create(&path).unwrap(),
+            "real_server_trace",
+            Arch::X86,
+            &mut other,
+            u64::MAX,
+        )
+        .unwrap();
+        assert!(spec.build_source().is_err(), "content hash must mismatch");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn synthetic_specs_parse_without_a_trace_field() {
+        // Pre-container sweeps serialized WorkloadSpec without `trace`;
+        // they must keep parsing (defaulted to None).
+        let spec = &ipc1_client()[0];
+        let mut json = serde_json::to_string(spec).unwrap();
+        json = json
+            .replace("\"trace\":null,", "")
+            .replace(",\"trace\":null", "");
+        assert!(!json.contains("trace"), "legacy form: {json}");
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, *spec);
+        assert!(matches!(
+            back.build_source().unwrap(),
+            crate::any::AnySource::Synth(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no synthetic image")]
+    fn file_backed_specs_refuse_to_build_images() {
+        let spec = WorkloadSpec {
+            name: "f".into(),
+            suite: Suite::TraceFile,
+            seed: 0,
+            params: SynthParams::server(100),
+            trace: Some(TraceRef {
+                path: PathBuf::from("/nonexistent.btbt"),
+                content_hash: 1,
+            }),
+        };
+        let _ = spec.build_image();
     }
 
     #[test]

@@ -3,11 +3,17 @@
 //! format's documented information loss (no sizes, targets recovered from
 //! the next record's `ip`), and the register-pattern branch
 //! classification must be a stable fixpoint under re-serialization.
+//!
+//! The `.btbt` container properties live here too: parsed ChampSim
+//! streams — and arbitrary streams with non-canonical addresses that
+//! force escape records — must survive the container round trip
+//! *exactly*, from any seek position.
 
-use btbx_core::types::{BranchClass, BranchEvent};
+use btbx_core::types::{Arch, BranchClass, BranchEvent};
 use btbx_trace::champsim::{write_champsim, ChampSimReader, InputInstr};
+use btbx_trace::container::{write_container, PackedFileSource};
 use btbx_trace::record::{MemAccess, Op, TraceInstr};
-use btbx_trace::source::TraceSource;
+use btbx_trace::source::{SeekableSource, TraceSource, VecSource};
 use proptest::prelude::*;
 
 fn parse(bytes: &[u8]) -> Vec<TraceInstr> {
@@ -101,6 +107,65 @@ fn arb_coherent_stream() -> impl Strategy<Value = Vec<TraceInstr>> {
         })
 }
 
+/// Arbitrary instructions *including* non-canonical ones: addresses
+/// above the 48-bit canonical range and branch events whose `pc`
+/// disagrees with the instruction `pc` — everything that forces the
+/// packed format's escape table.
+fn arb_weird_instr() -> impl Strategy<Value = TraceInstr> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0u8..6,
+        arb_class(),
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(|(pc, payload, kind, class, taken, size)| match kind {
+            0 => TraceInstr::other(pc, size),
+            1 => TraceInstr::mem(pc, size, MemAccess::Load(payload)),
+            2 => TraceInstr::mem(pc, size, MemAccess::Store(payload)),
+            // Coherent branch (event pc == instruction pc).
+            3 => TraceInstr {
+                pc,
+                size,
+                op: Op::Branch(BranchEvent {
+                    pc,
+                    target: payload,
+                    class,
+                    taken,
+                }),
+            },
+            // Mismatched event pc: constructible in release builds,
+            // must escape losslessly rather than decode rewritten.
+            _ => TraceInstr {
+                pc,
+                size,
+                op: Op::Branch(BranchEvent {
+                    pc: pc.wrapping_add(8),
+                    target: payload,
+                    class,
+                    taken,
+                }),
+            },
+        })
+}
+
+/// Write `instrs` into a `.btbt` container in a temp file and read the
+/// whole stream back.
+fn container_round_trip(
+    tag: &str,
+    instrs: &[TraceInstr],
+) -> (PackedFileSource, std::path::PathBuf) {
+    let path = std::env::temp_dir().join(format!("btbx-prop-{tag}-{}", std::process::id()));
+    let file = std::fs::File::create(&path).expect("temp container");
+    let mut source = VecSource::new("prop", instrs.to_vec());
+    write_container(file, "prop", Arch::Arm64, &mut source, u64::MAX).expect("container writes");
+    (
+        PackedFileSource::open(&path).expect("container reads"),
+        path,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -189,5 +254,58 @@ proptest! {
         // And the decode→encode step preserves the pattern itself.
         let back = InputInstr::from_bytes(&rec.to_bytes());
         prop_assert_eq!(back.classify(), Some(class));
+    }
+
+    /// ChampSim records → `.btbt` container → events is lossless: the
+    /// containerized stream equals the parsed stream event for event.
+    /// (The coherent generator plants >48-bit memory addresses, so this
+    /// path exercises escape records on realistic streams too.)
+    #[test]
+    fn champsim_streams_survive_the_container(instrs in arb_coherent_stream()) {
+        let parsed = parse(&write(&instrs));
+        let (reader, path) = container_round_trip("champsim", &parsed);
+        let back: Vec<TraceInstr> = reader.into_iter_instrs().collect();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(back, parsed);
+    }
+
+    /// Arbitrary streams — including non-canonical addresses and
+    /// mismatched branch-event PCs that can only live in the escape
+    /// table — survive the container round trip exactly.
+    #[test]
+    fn weird_streams_survive_the_container(
+        instrs in proptest::collection::vec(arb_weird_instr(), 1..200),
+    ) {
+        let (reader, path) = container_round_trip("weird", &instrs);
+        let back: Vec<TraceInstr> = reader.into_iter_instrs().collect();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(back, instrs);
+    }
+
+    /// The container's seek contract: from any position `k`,
+    /// `seek(k)` ≡ `step()×k` — the property the sharded engine's
+    /// checkpoint ladder stands on, mirrored from `synth_seek.rs`.
+    #[test]
+    fn container_seek_matches_stepping(
+        instrs in proptest::collection::vec(arb_weird_instr(), 2..200),
+        frac in 0.0f64..1.0,
+    ) {
+        let (mut seeker, path) = container_round_trip("seek", &instrs);
+        let k = (frac * (instrs.len() - 1) as f64) as u64;
+        let mut stepper = seeker.clone();
+        for _ in 0..k {
+            stepper.next_instr();
+        }
+        seeker.seek(k);
+        prop_assert_eq!(seeker.position(), k);
+        let cp = seeker.checkpoint();
+        let a: Vec<TraceInstr> = seeker.clone().into_iter_instrs().collect();
+        let b: Vec<TraceInstr> = stepper.into_iter_instrs().collect();
+        prop_assert_eq!(&a, &b, "seek({}) != step()x{}", k, k);
+        seeker.advance(3);
+        seeker.restore(&cp);
+        let c: Vec<TraceInstr> = seeker.into_iter_instrs().collect();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(a, c, "restore must rewind to the checkpoint");
     }
 }

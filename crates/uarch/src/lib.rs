@@ -55,7 +55,9 @@ pub mod sim;
 pub mod stats;
 
 pub use config::SimConfig;
-pub use parallel::{CheckpointLadder, ParallelOutcome, ParallelSession, ParallelTelemetry};
+pub use parallel::{
+    AnyLadder, CheckpointLadder, ParallelOutcome, ParallelSession, ParallelTelemetry,
+};
 pub use session::{IntervalStats, SessionError, SimSession};
 pub use sim::{simulate, Simulator};
 pub use stats::{SimResult, SimStats};

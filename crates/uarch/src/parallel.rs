@@ -19,7 +19,9 @@
 //! the window start and generates events on the fly while simulating, so
 //! there is no shared materialization pass and no `O(window)` event
 //! buffer — peak event memory is one packed
-//! [`crate::sim::EVENT_BLOCK_BYTES`] staging block per live shard. The
+//! [`crate::sim::EVENT_BLOCK_BYTES`] staging block per live shard (plus,
+//! for file-backed [`btbx_trace::AnySource`] streams, one decoded
+//! container block per live shard — still O(shards), never O(window)). The
 //! simulated work drops from `W + M` to `K·C + M`, which wins wall-clock
 //! even on one core when `K·C < W`, and the shards then parallelize
 //! across cores.
@@ -81,6 +83,11 @@ use std::time::Instant;
 /// Upper bound on retained checkpoints; later publishes are dropped once
 /// the ladder is full (positions already present keep being reusable).
 const LADDER_CAPACITY: usize = 1024;
+
+/// The ladder type for [`btbx_trace::AnySource`] streams — what sweeps
+/// and benches share across runs now that synthetic, ChampSim and
+/// packed-container workloads all ride the same sharded engine.
+pub type AnyLadder = CheckpointLadder<btbx_trace::AnyCheckpoint>;
 
 /// A shared store of trace-source snapshots keyed by stream position.
 ///
