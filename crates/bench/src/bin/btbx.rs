@@ -17,6 +17,7 @@
 use btbx_bench::opts::{OptError, OPTIONS_USAGE};
 use btbx_bench::registry::{self, ExperimentKind};
 use btbx_bench::report::write_artifact;
+use btbx_bench::serve::{ServeConfig, Server};
 use btbx_bench::sweep::Sweep;
 use btbx_bench::HarnessOpts;
 use btbx_core::spec::{BtbSpec, Budget};
@@ -45,6 +46,7 @@ commands:
   probe speed|ws  diagnostics (predictor rates / way pressure)
   all             run the full reproduction and write RESULTS.md
   sweep           run a custom workload x org x budget x FDIP matrix
+  serve           run a JSON-over-HTTP simulation service over the cache
   bench           measure simulator throughput, write BENCH_sim.json
   trace           convert/inspect/check .btbt trace containers
   list            list every runnable experiment
@@ -69,10 +71,34 @@ selection:
   --fdip MODE      on | off | both                          [on]
   --trace FILE     replay a .btbt container instead of a suite
                    (orgs/budgets/fdip still apply; see btbx trace)
+  --server ADDR    POST every point to a running `btbx serve` at ADDR
+                   (host:port) instead of simulating locally
 
 spec files:
   --save FILE      write the sweep as JSON and exit (no simulation)
   --spec FILE      load a sweep from JSON (selection flags ignored)";
+
+const SERVE_USAGE: &str = "\
+usage: btbx serve [options]
+
+A long-lived JSON-over-HTTP simulation service over the sweep cache:
+concurrent requests for one point run ONE simulation (single-flight),
+results are written atomically to <out>/cache and reused across
+requests, sweeps and restarts. See EXPERIMENTS.md for the protocol.
+
+endpoints:
+  POST /sim        SimPoint JSON -> SimResult JSON (X-Btbx-Cache header
+                   reports disk|computed|joined)
+  GET  /healthz    liveness probe
+  GET  /stats      request + cache counters
+  POST /shutdown   graceful shutdown (drains in-flight requests)
+
+options:
+  --port N         listen port on 127.0.0.1 (0 = ephemeral)  [8427]
+  --port-file F    write the bound port to F (for scripts)
+shared options (--threads, --shards, --out for the cache dir) apply;
+`--shards 1` (the default) serves results byte-identical to the serial
+CLI path.";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +131,7 @@ fn main() {
             (registry::find(name).expect("registered").run)(&opts);
         }
         "sweep" => sweep_cmd(args),
+        "serve" => serve_cmd(args),
         "bench" => bench_cmd(args),
         "trace" => trace_cmd(args),
         name => match registry::find(name) {
@@ -178,6 +205,10 @@ fn list() {
         "  {:<12} {:<8} simulator throughput, writes BENCH_sim.json",
         "bench", ""
     );
+    println!(
+        "  {:<12} {:<8} JSON-over-HTTP simulation service (btbx serve --help)",
+        "serve", ""
+    );
 }
 
 fn sweep_cmd(args: Vec<String>) {
@@ -189,6 +220,7 @@ fn sweep_cmd(args: Vec<String>) {
     let mut fdip = vec![true];
     let mut save: Option<String> = None;
     let mut spec_file: Option<String> = None;
+    let mut server: Option<String> = None;
     let mut rest = Vec::new();
 
     let mut it = args.into_iter();
@@ -219,6 +251,7 @@ fn sweep_cmd(args: Vec<String>) {
             }
             "--save" => save = Some(value("--save")),
             "--spec" => spec_file = Some(value("--spec")),
+            "--server" => server = Some(value("--server")),
             "--help" | "-h" => {
                 println!("{SWEEP_USAGE}\n\n{OPTIONS_USAGE}");
                 return;
@@ -294,7 +327,10 @@ fn sweep_cmd(args: Vec<String>) {
         return;
     }
 
-    let results = sweep.run(&opts);
+    let results = match &server {
+        Some(addr) => btbx_bench::serve::sweep_via_server(&sweep, &opts, addr),
+        None => sweep.run(&opts),
+    };
     let mut csv = String::from("workload,org,budget_bits,fdip,ipc,btb_mpki,l1i_mpki,flush_pki\n");
     println!(
         "{:<14} {:<14} {:>12} {:>6} {:>8} {:>9} {:>9}",
@@ -325,6 +361,51 @@ fn sweep_cmd(args: Vec<String>) {
     }
     let path = write_artifact(&opts.out_dir, "sweep.csv", &csv);
     println!("\n{} results -> {}", results.len(), path.display());
+}
+
+fn serve_cmd(args: Vec<String>) {
+    let mut port: u16 = 8427;
+    let mut port_file: Option<String> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} expects a value")))
+        };
+        match arg.as_str() {
+            "--port" => {
+                port = value("--port")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--port expects a port number"));
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}\n\n{OPTIONS_USAGE}");
+                return;
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = parse_opts(rest, "serve", Some(SERVE_USAGE));
+    let config = ServeConfig::from_opts(port, &opts);
+    let shards = config.shards;
+    let server =
+        Server::start(config).unwrap_or_else(|e| fail(&format!("starting the service: {e}")));
+    let addr = server.addr();
+    println!("btbx serve listening on http://{addr}");
+    eprintln!(
+        "[serve] cache {}; {} threads, {} shards/simulation; \
+         POST /shutdown to stop",
+        opts.out_dir.join("cache").display(),
+        opts.threads,
+        shards
+    );
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{}\n", addr.port()))
+            .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+    }
+    server.join();
 }
 
 const BENCH_USAGE: &str = "\

@@ -17,6 +17,12 @@
 //!   `--quick`, `--fresh`, `--threads`, `--out`), `Result`-based;
 //! * [`runner`] — the panic-safe work-queue thread pool (re-exported
 //!   from `btbx-uarch`);
+//! * [`store`] — the durable per-point result cache ([`ResultStore`]):
+//!   atomic temp-file+rename writes, corrupt-entry quarantine, and
+//!   process-wide single-flight computation, shared by sweeps and the
+//!   server;
+//! * [`serve`] — `btbx serve`, a long-lived JSON-over-HTTP simulation
+//!   service deduplicating concurrent requests through the store;
 //! * [`perf`] — the `btbx bench` simulator-throughput benchmark and its
 //!   `BENCH_sim.json` trajectory/regression gate;
 //! * [`report`] — text/CSV emission helpers.
@@ -28,7 +34,10 @@ pub mod perf;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod serve;
+pub mod store;
 pub mod sweep;
 
 pub use opts::HarnessOpts;
+pub use store::ResultStore;
 pub use sweep::{SimPoint, Sweep};

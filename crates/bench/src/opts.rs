@@ -158,6 +158,24 @@ impl HarnessOpts {
         Ok(opts)
     }
 
+    /// Split the thread budget between concurrently-running points and
+    /// the shard fan-out inside each point, as `(point_threads,
+    /// shard_threads)` with `point_threads × shard_threads ≤ threads`
+    /// and the product maximal.
+    ///
+    /// The historical split (`threads / shards` × `threads.clamp(1,
+    /// shards)`) mishandled every `threads` that is not a multiple of
+    /// `shards`: `threads=6, shards=4` ran 1×4 leaving 2 of 6 threads
+    /// idle, and `threads=10, shards=3` ran 3×3 leaving a core idle —
+    /// while rounding the other way would oversubscribe. This searches
+    /// the (tiny) space of shard-thread counts ≤ `shards` for the split
+    /// with maximal utilization, preferring the wider shard fan-out on
+    /// ties (fewer points in flight → less peak memory, and each point
+    /// finishes sooner).
+    pub fn pool_split(&self) -> (usize, usize) {
+        pool_split(self.threads, self.shards)
+    }
+
     /// Parse from the process arguments, exiting with usage on errors (the
     /// behaviour every binary wants at top level).
     pub fn from_env() -> Self {
@@ -173,6 +191,23 @@ impl HarnessOpts {
             }
         }
     }
+}
+
+/// See [`HarnessOpts::pool_split`]; free function so callers without an
+/// options struct (and tests) can use the same policy.
+pub fn pool_split(threads: usize, shards: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let shards = shards.max(1);
+    if shards == 1 {
+        return (threads, 1);
+    }
+    // For each candidate shard-thread count s ≤ min(shards, threads),
+    // the best point-thread count is threads / s; pick the s maximizing
+    // utilization (threads/s)·s, breaking ties toward larger s.
+    (1..=shards.min(threads))
+        .map(|s| (threads / s, s))
+        .max_by_key(|&(p, s)| (p * s, s))
+        .expect("candidate range is non-empty")
 }
 
 #[cfg(test)]
@@ -250,6 +285,46 @@ mod tests {
     fn help_is_reported_not_exited() {
         assert_eq!(parse(&["--help"]), Err(OptError::HelpRequested));
         assert_eq!(parse(&["-h"]), Err(OptError::HelpRequested));
+    }
+
+    #[test]
+    fn pool_split_never_oversubscribes_and_maximizes_utilization() {
+        for threads in 1..=16 {
+            for shards in 1..=8 {
+                let (p, s) = pool_split(threads, shards);
+                assert!(p >= 1 && s >= 1, "degenerate split {p}x{s}");
+                assert!(s <= shards, "{s} shard threads for {shards} shards");
+                assert!(
+                    p * s <= threads,
+                    "({threads} threads, {shards} shards) -> {p}x{s} oversubscribes"
+                );
+                // Brute-force the best feasible utilization.
+                let best = (1..=shards.min(threads))
+                    .map(|s| (threads / s) * s)
+                    .max()
+                    .unwrap();
+                assert_eq!(
+                    p * s,
+                    best,
+                    "({threads} threads, {shards} shards) -> {p}x{s} wastes threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_split_fixes_the_reported_cases() {
+        // The old split computed point_threads = threads / shards and
+        // shard_threads = threads.clamp(1, shards) independently.
+        assert_eq!(pool_split(6, 4), (2, 3), "old split ran 1x4 (4 of 6)");
+        assert_eq!(pool_split(8, 3), (4, 2), "old split ran 2x3 (6 of 8)");
+        assert_eq!(pool_split(10, 3), (5, 2), "old split ran 3x3 (9 of 10)");
+        assert_eq!(pool_split(4, 3), (2, 2), "old split ran 1x3 (3 of 4)");
+        // Degenerate and exact cases keep their obvious answers.
+        assert_eq!(pool_split(8, 1), (8, 1));
+        assert_eq!(pool_split(1, 8), (1, 1));
+        assert_eq!(pool_split(8, 4), (2, 4), "exact divisor prefers wide");
+        assert_eq!(pool_split(0, 0), (1, 1), "zeroes clamp to one worker");
     }
 
     #[test]

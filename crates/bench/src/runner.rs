@@ -6,7 +6,7 @@
 //! panicking job fails the whole run with the job's label instead of
 //! poisoning or hanging the pool (see the pool's own tests).
 
-pub use btbx_uarch::runner::{run_jobs, run_named_jobs};
+pub use btbx_uarch::runner::{run_jobs, run_named_jobs, ServicePool};
 
 #[cfg(test)]
 mod tests {

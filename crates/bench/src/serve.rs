@@ -1,0 +1,523 @@
+//! `btbx serve` — a long-lived JSON-over-HTTP simulation service.
+//!
+//! The sharded streaming engine (see `btbx_uarch::parallel`) makes a
+//! single simulation fast enough to sit behind a request path; this
+//! module puts it there. The server is hand-rolled over
+//! [`std::net::TcpListener`] — no async runtime, no HTTP dependency —
+//! with connections handled on the long-lived
+//! [`btbx_uarch::runner::ServicePool`] and every result flowing through
+//! the same durable [`ResultStore`] as `btbx sweep`:
+//!
+//! * **Deduplication.** N concurrent requests for one [`SimPoint`]
+//!   (keyed by [`SimPoint::cache_key`]) run ONE simulation; the others
+//!   join the in-flight computation and get the identical result. A
+//!   sweep sharing the cache directory joins the same flights.
+//! * **Durability.** Results are written atomically (temp file + rename)
+//!   so a killed server never leaves an entry that a later reader parses
+//!   as valid; damaged entries are quarantined, not served.
+//! * **Positioning reuse.** Sharded runs of a workload share one
+//!   [`AnyLadder`] across requests, so repeat shard positioning is
+//!   O(state) instead of a cold skip — the steady state for an
+//!   experiment matrix served point by point.
+//!
+//! # Protocol
+//!
+//! | Endpoint         | Body / response                                   |
+//! |------------------|---------------------------------------------------|
+//! | `POST /sim`      | [`SimPoint`] JSON → [`SimResult`] JSON            |
+//! | `GET /healthz`   | `{"ok":true}` liveness probe                      |
+//! | `GET /stats`     | [`ServeStats`] JSON (request + cache counters)    |
+//! | `POST /shutdown` | `{"ok":true}`, then graceful drain and exit       |
+//!
+//! `/sim` responses carry an `X-Btbx-Cache` header (`disk`, `computed`
+//! or `joined`) reporting how the result was obtained. Errors are JSON
+//! `{"error": "..."}` with 400 (malformed request) or 500 (failed
+//! simulation) status. See EXPERIMENTS.md, "The simulation service".
+
+use crate::opts::{pool_split, HarnessOpts};
+use crate::runner::ServicePool;
+use crate::store::{Fetch, ResultStore, StoreCounters, StoreError};
+use crate::sweep::{SimPoint, Sweep};
+use btbx_uarch::{AnyLadder, SimResult};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Largest accepted request body; a [`SimPoint`] is well under this.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Socket read timeout: a stalled or idle client must not pin a worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (`0` = ephemeral, read it back from
+    /// [`Server::addr`]).
+    pub port: u16,
+    /// Cache directory (the sweep convention is `<out>/cache`).
+    pub cache_dir: PathBuf,
+    /// Total thread budget, split between concurrent requests and
+    /// intra-request shard fan-out by [`pool_split`].
+    pub threads: usize,
+    /// Interval shards per simulation (1 = serial, byte-identical to the
+    /// CLI serial path).
+    pub shards: usize,
+}
+
+impl ServeConfig {
+    /// Derive the server configuration from shared harness options.
+    pub fn from_opts(port: u16, opts: &HarnessOpts) -> Self {
+        ServeConfig {
+            port,
+            cache_dir: opts.out_dir.join("cache"),
+            threads: opts.threads,
+            shards: opts.shards.max(1),
+        }
+    }
+}
+
+/// Counters reported by `GET /stats`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServeStats {
+    /// HTTP requests accepted (all endpoints).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Simulations served: disk hits + single-flight joins + computes.
+    pub store: StoreCounters,
+}
+
+struct ServerState {
+    store: ResultStore,
+    shards: usize,
+    shard_threads: usize,
+    /// One checkpoint ladder per distinct workload spec (serialized
+    /// form), shared across requests so repeat positioning is O(state).
+    ladders: Mutex<HashMap<String, Arc<AnyLadder>>>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerState {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            store: self.store.counters(),
+        }
+    }
+
+    fn ladder_for(&self, point: &SimPoint) -> Option<Arc<AnyLadder>> {
+        if self.shards <= 1 {
+            return None;
+        }
+        let key = serde_json::to_string(&point.workload).expect("workloads serialize");
+        let mut ladders = self.ladders.lock().unwrap();
+        Some(Arc::clone(
+            ladders
+                .entry(key)
+                .or_insert_with(|| Arc::new(AnyLadder::new())),
+        ))
+    }
+}
+
+/// A running `btbx serve` instance. Dropping the handle does **not**
+/// stop the server; send `POST /shutdown` (or use
+/// [`Server::shutdown`]) and then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    accept: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and request workers, and return once
+    /// the socket is listening (so [`Server::addr`] is immediately
+    /// valid, including for `port: 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the cache directory is unusable or the
+    /// socket cannot be bound.
+    pub fn start(config: ServeConfig) -> Result<Server, StoreError> {
+        let store = ResultStore::open(&config.cache_dir)?;
+        let listener =
+            TcpListener::bind(("127.0.0.1", config.port)).map_err(|source| StoreError::Io {
+                action: "binding service socket",
+                path: PathBuf::from(format!("127.0.0.1:{}", config.port)),
+                source,
+            })?;
+        let addr = listener.local_addr().map_err(|source| StoreError::Io {
+            action: "resolving bound address",
+            path: PathBuf::from("127.0.0.1"),
+            source,
+        })?;
+        let (workers, shard_threads) = pool_split(config.threads, config.shards);
+        let state = Arc::new(ServerState {
+            store,
+            shards: config.shards.max(1),
+            shard_threads,
+            ladders: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let accept = std::thread::spawn(move || {
+            let pool = ServicePool::new("serve", workers);
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(stream) = stream else { continue };
+                // Submit before checking the flag: a request racing the
+                // shutdown (or the waker itself, which sends nothing and
+                // parses as an empty probe) is drained, not reset.
+                let worker_state = Arc::clone(&state);
+                let self_addr = addr;
+                pool.submit(format!("conn-{i}"), move || {
+                    handle_connection(&worker_state, stream, self_addr);
+                });
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Graceful drain: in-flight and queued requests finish
+            // before the workers exit.
+            pool.shutdown();
+            eprintln!("[serve] drained; bye");
+        });
+        Ok(Server { addr, accept })
+    }
+
+    /// The bound address (resolves `port: 0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful shutdown over the wire, without waiting for
+    /// the drain to finish (follow with [`Server::join`]).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the server is unreachable.
+    pub fn shutdown(&self) -> io::Result<()> {
+        http_request(&self.addr.to_string(), "POST", "/shutdown", "").map(|_| ())
+    }
+
+    /// Wait for the accept loop (i.e. the server) to exit.
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Read and answer one HTTP request, then close the connection.
+fn handle_connection(state: &ServerState, stream: TcpStream, self_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        // Empty connection: either a probe or the shutdown waker.
+        Ok(None) => return,
+        Err(e) => {
+            // A malformed request still counts as a request, so
+            // `errors <= requests` holds for /stats consumers.
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            let mut stream = reader.into_inner();
+            let _ = respond_json(
+                &mut stream,
+                400,
+                &format!("{{\"error\":{:?}}}", e.to_string()),
+                None,
+            );
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let mut stream = reader.into_inner();
+    let outcome = route(state, &request, &mut stream, self_addr);
+    if let Err(status) = outcome {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+        let _ = respond_json(&mut stream, status.0, &status.1, None);
+    }
+}
+
+/// Route one parsed request; `Err((status, body))` is answered by the
+/// caller (which also counts it).
+fn route(
+    state: &ServerState,
+    request: &HttpRequest,
+    stream: &mut TcpStream,
+    self_addr: SocketAddr,
+) -> Result<(), (u16, String)> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = respond_json(stream, 200, "{\"ok\":true}", None);
+            Ok(())
+        }
+        ("GET", "/stats") => {
+            let body = serde_json::to_string(&state.stats()).expect("stats serialize");
+            let _ = respond_json(stream, 200, &body, None);
+            Ok(())
+        }
+        ("POST", "/shutdown") => {
+            let _ = respond_json(stream, 200, "{\"ok\":true}", None);
+            if !state.shutdown.swap(true, Ordering::SeqCst) {
+                eprintln!("[serve] shutdown requested; draining");
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(self_addr);
+            }
+            Ok(())
+        }
+        ("POST", "/sim") => {
+            let point: SimPoint = serde_json::from_str(&request.body).map_err(|e| {
+                (
+                    400,
+                    format!("{{\"error\":{:?}}}", format!("bad SimPoint: {e}")),
+                )
+            })?;
+            let (result, fetch) =
+                simulate(state, &point).map_err(|msg| (500, format!("{{\"error\":{msg:?}}}")))?;
+            let body = serde_json::to_string(&result).expect("results serialize");
+            let cache_header = match fetch {
+                Fetch::Disk => "disk",
+                Fetch::Computed => "computed",
+                Fetch::Joined => "joined",
+            };
+            let _ = respond_json(stream, 200, &body, Some(("X-Btbx-Cache", cache_header)));
+            Ok(())
+        }
+        (_, path) => Err((
+            404,
+            format!("{{\"error\":{:?}}}", format!("no route {path}")),
+        )),
+    }
+}
+
+/// Run (or fetch) one point through the store's single-flight path,
+/// converting simulation panics into an error message for a 500.
+fn simulate(state: &ServerState, point: &SimPoint) -> Result<(SimResult, Fetch), String> {
+    let name = point.cache_file_for(state.shards);
+    let ladder = state.ladder_for(point);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        state.store.get_or_compute(&name, false, || {
+            point.run_sharded_with(state.shards, state.shard_threads, ladder.as_deref())
+        })
+    }));
+    match outcome {
+        Ok(Ok(hit)) => Ok(hit),
+        Ok(Err(e)) => Err(format!("cache: {e}")),
+        Err(payload) => Err(btbx_uarch::runner::panic_message(&*payload)),
+    }
+}
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Parse a request head + body. `Ok(None)` means the peer closed
+/// without sending anything (probes, the shutdown waker).
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad request line",
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok(Some(HttpRequest { method, path, body }))
+}
+
+/// Write a JSON response with an optional extra header and close.
+fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra: Option<(&str, &str)>,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    if let Some((name, value)) = extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed HTTP response from [`http_request`].
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Look up a header by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Minimal blocking HTTP/1.1 client for the service (the `btbx sweep
+/// --server` transport, tests, and smoke scripts). `addr` is
+/// `host:port`, optionally prefixed with `http://`.
+///
+/// # Errors
+///
+/// [`io::Error`] on connection or protocol failures. Non-2xx statuses
+/// are returned, not errors.
+pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+    let addr = addr
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string();
+    let mut stream = TcpStream::connect(&addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Run a sweep *through a server* instead of locally: every point is
+/// POSTed to `addr`'s `/sim` endpoint on `opts.threads` concurrent
+/// client jobs. Results come back in [`Sweep::points`] order, exactly
+/// like [`Sweep::run`] — the server owns the cache and the dedup.
+///
+/// # Panics
+///
+/// Panics when the server is unreachable or answers non-200 for a
+/// point (the same fail-the-run contract as a local sweep).
+pub fn sweep_via_server(sweep: &Sweep, opts: &HarnessOpts, addr: &str) -> Vec<SimResult> {
+    let points = sweep.points();
+    let jobs: Vec<(String, _)> = points
+        .into_iter()
+        .map(|point| {
+            let label = format!("{}:{}@server", point.workload.name, point.org.id());
+            let addr = addr.to_string();
+            let job = move || {
+                let body = serde_json::to_string(&point).expect("points serialize");
+                let response = http_request(&addr, "POST", "/sim", &body)
+                    .unwrap_or_else(|e| panic!("POST {addr}/sim: {e}"));
+                if response.status != 200 {
+                    panic!("server {}: {}", response.status, response.body);
+                }
+                serde_json::from_str(&response.body)
+                    .unwrap_or_else(|e| panic!("bad result from server: {e}"))
+            };
+            (label, job)
+        })
+        .collect();
+    crate::runner::run_named_jobs(&format!("{}@server", sweep.name), opts.threads, jobs)
+}

@@ -1,0 +1,611 @@
+//! [`ResultStore`] — the durable, concurrency-safe per-point result cache
+//! shared by `btbx sweep` and `btbx serve`.
+//!
+//! This replaces `sweep.rs`'s historical ad-hoc `load_cached`/
+//! `store_cached` pair, which had three latent bugs that become live the
+//! moment two runs share a cache directory:
+//!
+//! 1. **Torn writes.** Results were written with a bare `fs::write`, so a
+//!    crash (or a concurrent writer) mid-write left a half-file that
+//!    looked like a cache entry. The store writes to a temp file *in the
+//!    same directory* and atomically renames it into place: a reader can
+//!    only ever observe no file or a complete file, never a torn one.
+//! 2. **Silently discarded errors.** Every I/O error was `let _ =`-d
+//!    away, so a full disk or an unwritable cache directory degraded to
+//!    "recompute forever" with no diagnostic. Store operations return
+//!    [`StoreError`] and callers decide (the sweep fails the run).
+//! 3. **Corruption loops.** Any read or parse failure was mapped to
+//!    `None`, so a damaged entry was recomputed on every run — and the
+//!    rewrite raced whoever else was reading it. The store distinguishes
+//!    *absent* (`Ok(None)`) from *damaged*: a damaged entry is logged
+//!    once and quarantined by renaming it to `<name>.corrupt`, clearing
+//!    the path for the atomic rewrite while preserving the evidence.
+//!
+//! # Single-flight
+//!
+//! [`ResultStore::get_or_compute`] deduplicates concurrent computations
+//! of the same key *process-wide*: stores opened on the same canonical
+//! directory share one in-flight table, so N concurrent requests (two
+//! overlapping sweeps, or N `btbx serve` clients) for one point run one
+//! simulation and all observers get the same result. The winner writes
+//! the cache entry; joiners never touch the disk.
+//!
+//! Cross-*process* writers are safe (atomic rename makes the entry appear
+//! complete or not at all) but not deduplicated — both processes compute
+//! and the second rename wins with byte-identical content.
+
+use btbx_uarch::SimResult;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+
+/// A cache-store failure, always carrying the path it happened on.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading, writing, renaming or creating under the cache directory
+    /// failed for a reason other than the entry being absent.
+    Io {
+        /// What the store was doing.
+        action: &'static str,
+        /// The path the action failed on.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A result refused to serialize (a bug, not an environment issue).
+    Serialize(serde_json::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "{action} {}: {source}", path.display()),
+            StoreError::Serialize(e) => write!(f, "serializing result: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// How [`ResultStore::get_or_compute`] obtained a result — surfaced so
+/// servers can report cache behaviour and tests can assert dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetch {
+    /// Read from a completed cache entry on disk.
+    Disk,
+    /// Computed by this caller (which then wrote the entry).
+    Computed,
+    /// Joined another caller's in-flight computation of the same key.
+    Joined,
+}
+
+/// Monotonic counters for one shared (per-directory) store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StoreCounters {
+    /// Computations actually run (cache misses that won their flight).
+    pub computes: u64,
+    /// Results served from completed on-disk entries.
+    pub disk_hits: u64,
+    /// Results obtained by waiting on another caller's flight.
+    pub joins: u64,
+    /// Damaged entries quarantined to `*.corrupt`.
+    pub quarantined: u64,
+}
+
+enum FlightState {
+    Running,
+    /// Boxed: a [`SimResult`] is ~0.5 KB and would dominate the enum.
+    Done(Box<SimResult>),
+    /// The computing caller panicked; the payload message propagates to
+    /// every waiter so a failure is never silently absorbed.
+    Poisoned(String),
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// State shared by every [`ResultStore`] opened on one canonical
+/// directory: the in-flight table, counters, and quarantine log dedup.
+struct Shared {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+    computes: AtomicU64,
+    disk_hits: AtomicU64,
+    joins: AtomicU64,
+    quarantined: AtomicU64,
+    logged: Mutex<HashSet<PathBuf>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            flights: Mutex::new(HashMap::new()),
+            computes: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            logged: Mutex::new(HashSet::new()),
+        }
+    }
+}
+
+/// Registry mapping canonical cache directories to their shared state, so
+/// independently-opened stores on one directory single-flight together.
+fn registry() -> &'static Mutex<HashMap<PathBuf, Weak<Shared>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Weak<Shared>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A durable result cache over one directory: atomic writes, corrupt-entry
+/// quarantine, and process-wide single-flight computation. See the module
+/// docs for the guarantees.
+pub struct ResultStore {
+    dir: PathBuf,
+    shared: Arc<Shared>,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store over `dir`. Stores opened on
+    /// the same directory share one in-flight table and counter set.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created or
+    /// canonicalized.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+            action: "creating cache dir",
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let canonical = dir.canonicalize().map_err(|source| StoreError::Io {
+            action: "resolving cache dir",
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let mut reg = registry().lock().unwrap();
+        let shared = match reg.get(&canonical).and_then(Weak::upgrade) {
+            Some(shared) => shared,
+            None => {
+                let shared = Arc::new(Shared::new());
+                reg.insert(canonical.clone(), Arc::downgrade(&shared));
+                shared
+            }
+        };
+        Ok(ResultStore {
+            dir: canonical,
+            shared,
+        })
+    }
+
+    /// The canonical directory this store caches under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current counters for this store's directory (shared across every
+    /// store opened on it in this process).
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            computes: self.shared.computes.load(Ordering::Relaxed),
+            disk_hits: self.shared.disk_hits.load(Ordering::Relaxed),
+            joins: self.shared.joins.load(Ordering::Relaxed),
+            quarantined: self.shared.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Read the entry named `name`, distinguishing absent from damaged.
+    ///
+    /// Returns `Ok(None)` when the entry does not exist **or** when it
+    /// exists but is unreadable as a result — in the latter case the file
+    /// is logged (once per path) and renamed to `<name>.corrupt` so the
+    /// next write lands cleanly and the damage stays inspectable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for read failures other than `NotFound`
+    /// (permissions, I/O errors): those are environment problems the
+    /// caller must hear about, not cache misses.
+    pub fn load(&self, name: &str) -> Result<Option<SimResult>, StoreError> {
+        let path = self.dir.join(name);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => {
+                return Err(StoreError::Io {
+                    action: "reading cache entry",
+                    path,
+                    source,
+                })
+            }
+        };
+        match serde_json::from_str(&text) {
+            Ok(result) => {
+                self.shared.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(result))
+            }
+            Err(parse_err) => {
+                // Re-read before condemning the entry: a concurrent
+                // writer may have atomically replaced the damaged bytes
+                // with a clean entry since the read above — quarantining
+                // then would throw away a valid result.
+                if let Ok(second) = fs::read_to_string(&path) {
+                    if second != text {
+                        if let Ok(result) = serde_json::from_str(&second) {
+                            self.shared.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(Some(result));
+                        }
+                    }
+                }
+                self.quarantine(&path, &parse_err);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Move a damaged entry aside (to `<path>.corrupt`) and log it, once
+    /// per path per process. Quarantine is best-effort: if the rename
+    /// fails the damaged file stays put and the atomic rewrite will
+    /// replace it anyway. The caller re-reads before quarantining, but a
+    /// writer landing in the remaining window only costs a recompute —
+    /// the renamed entry is treated as a miss, never as data loss.
+    fn quarantine(&self, path: &Path, why: &serde_json::Error) {
+        let mut quarantine = path.as_os_str().to_owned();
+        quarantine.push(".corrupt");
+        let quarantine = PathBuf::from(quarantine);
+        let renamed = fs::rename(path, &quarantine);
+        if self
+            .shared
+            .logged
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf())
+        {
+            self.shared.quarantined.fetch_add(1, Ordering::Relaxed);
+            match renamed {
+                Ok(()) => eprintln!(
+                    "[store] damaged cache entry {} ({why}); quarantined to {}",
+                    path.display(),
+                    quarantine.display()
+                ),
+                Err(e) => eprintln!(
+                    "[store] damaged cache entry {} ({why}); quarantine failed: {e}",
+                    path.display()
+                ),
+            }
+        }
+    }
+
+    /// Durably write `result` as the entry named `name`.
+    ///
+    /// The JSON is written to a fresh temp file in the cache directory
+    /// and renamed into place, so concurrent readers (and readers after a
+    /// crash) see either the previous state or the complete new entry —
+    /// never a prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on serialization or I/O failure; unlike the old
+    /// `store_cached`, nothing is discarded.
+    pub fn store(&self, name: &str, result: &SimResult) -> Result<(), StoreError> {
+        let json = serde_json::to_string(result).map_err(StoreError::Serialize)?;
+        let path = self.dir.join(name);
+        // Unique per writer so concurrent stores of one key never share a
+        // temp file; the final rename is the only point of contention and
+        // it is atomic.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{name}.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, json).map_err(|source| StoreError::Io {
+            action: "writing cache temp file",
+            path: tmp.clone(),
+            source,
+        })?;
+        fs::rename(&tmp, &path).map_err(|source| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io {
+                action: "publishing cache entry",
+                path: path.clone(),
+                source,
+            }
+        })
+    }
+
+    /// Return the result for `name`, computing (and caching) it at most
+    /// once per process across every concurrent caller.
+    ///
+    /// With `fresh` the on-disk entry is ignored (but still refreshed);
+    /// deduplication against in-flight computations still applies.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on cache I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// If the computation itself panics, the panic propagates to the
+    /// computing caller *and* every joined waiter (as a `String` payload
+    /// naming the key) — a failed simulation is never mistaken for a
+    /// cached one.
+    pub fn get_or_compute<F>(
+        &self,
+        name: &str,
+        fresh: bool,
+        compute: F,
+    ) -> Result<(SimResult, Fetch), StoreError>
+    where
+        F: FnOnce() -> SimResult,
+    {
+        if !fresh {
+            if let Some(result) = self.load(name)? {
+                return Ok((result, Fetch::Disk));
+            }
+        }
+        let (flight, leader) = {
+            let mut flights = self.shared.flights.lock().unwrap();
+            match flights.get(name) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(name.to_string(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if !leader {
+            self.shared.joins.fetch_add(1, Ordering::Relaxed);
+            let mut state = flight.state.lock().unwrap();
+            while matches!(*state, FlightState::Running) {
+                state = flight.cv.wait(state).unwrap();
+            }
+            return match &*state {
+                FlightState::Done(result) => Ok(((**result).clone(), Fetch::Joined)),
+                FlightState::Poisoned(msg) => panic!("joined computation failed: {msg}"),
+                FlightState::Running => unreachable!(),
+            };
+        }
+
+        // Leader. The flight entry is settled (waiters notified, entry
+        // removed) on every exit path — including panics — so a failure
+        // never wedges later requests for the same key.
+        let settle = |state: FlightState| {
+            *flight.state.lock().unwrap() = state;
+            flight.cv.notify_all();
+            self.shared.flights.lock().unwrap().remove(name);
+        };
+
+        // Close the probe→flight window: another leader may have
+        // computed and published (then retired its flight) between our
+        // disk probe above and winning this flight. Re-checking under
+        // leadership keeps "each unique point computes once" exact.
+        if !fresh {
+            match self.load(name) {
+                Ok(Some(result)) => {
+                    settle(FlightState::Done(Box::new(result.clone())));
+                    return Ok((result, Fetch::Disk));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    settle(FlightState::Poisoned(e.to_string()));
+                    return Err(e);
+                }
+            }
+        }
+
+        self.shared.computes.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(compute));
+        match outcome {
+            Ok(result) => {
+                let stored = self.store(name, &result);
+                settle(FlightState::Done(Box::new(result.clone())));
+                stored?;
+                Ok((result, Fetch::Computed))
+            }
+            Err(payload) => {
+                settle(FlightState::Poisoned(btbx_uarch::runner::panic_message(
+                    &*payload,
+                )));
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_uarch::stats::SimStats;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn result(tag: &str, cycles: u64) -> SimResult {
+        let stats = SimStats {
+            cycles,
+            instructions: 1_000,
+            ..SimStats::default()
+        };
+        SimResult {
+            workload: tag.to_string(),
+            org: "conv".to_string(),
+            fdip_enabled: true,
+            btb_budget_bits: 1,
+            stats,
+        }
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("btbx-store-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = fresh_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.load("a.json").unwrap().is_none(), "absent is None");
+        let r = result("w", 42);
+        store.store("a.json", &r).unwrap();
+        assert_eq!(store.load("a.json").unwrap().unwrap(), r);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_leave_no_temp_files_and_are_atomic_renames() {
+        let dir = fresh_dir("atomic");
+        let store = ResultStore::open(&dir).unwrap();
+        store.store("a.json", &result("w", 1)).unwrap();
+        store.store("a.json", &result("w", 2)).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.json".to_string()], "temp files linger");
+        // An abandoned temp file (a writer killed mid-write before the
+        // rename) must never be read as an entry.
+        fs::write(dir.join("b.json.tmp.999.0"), "{\"work").unwrap();
+        assert!(store.load("b.json").unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_entries_are_quarantined_not_looped() {
+        let dir = fresh_dir("quarantine");
+        let store = ResultStore::open(&dir).unwrap();
+        fs::write(dir.join("a.json"), "{\"workload\": garbage").unwrap();
+        assert!(store.load("a.json").unwrap().is_none(), "damaged is None");
+        assert!(
+            dir.join("a.json.corrupt").exists(),
+            "damage must be quarantined"
+        );
+        assert!(!dir.join("a.json").exists(), "path must be cleared");
+        assert_eq!(store.counters().quarantined, 1);
+        // The cleared path accepts a clean rewrite.
+        let r = result("w", 7);
+        store.store("a.json", &r).unwrap();
+        assert_eq!(store.load("a.json").unwrap().unwrap(), r);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_errors_surface_instead_of_reading_as_misses() {
+        let dir = fresh_dir("ioerr");
+        let store = ResultStore::open(&dir).unwrap();
+        // A directory where an entry should be: read fails with a real
+        // error, which must not be collapsed into "absent".
+        fs::create_dir_all(dir.join("a.json")).unwrap();
+        let err = store.load("a.json").unwrap_err();
+        assert!(err.to_string().contains("a.json"), "{err}");
+        let err = store.store("a.json", &result("w", 1)).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_dir_stores_share_flights_and_counters() {
+        let dir = fresh_dir("sharing");
+        let a = ResultStore::open(&dir).unwrap();
+        let b = ResultStore::open(&dir).unwrap();
+        a.get_or_compute("k.json", false, || result("w", 3))
+            .unwrap();
+        assert_eq!(b.counters().computes, 1, "counters must be shared");
+        let (_, fetch) = b
+            .get_or_compute("k.json", false, || result("w", 4))
+            .unwrap();
+        assert_eq!(fetch, Fetch::Disk, "second call hits the disk entry");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_flight_computes_once_across_threads() {
+        let dir = fresh_dir("flight");
+        let store = ResultStore::open(&dir).unwrap();
+        let computes = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        let results: Vec<(SimResult, Fetch)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        store
+                            .get_or_compute("k.json", false, || {
+                                computes.fetch_add(1, Ordering::Relaxed);
+                                // Hold the flight open long enough for
+                                // every peer to join it.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                result("w", 9)
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "exactly one compute");
+        assert!(results.iter().all(|(r, _)| r.stats.cycles == 9));
+        assert_eq!(
+            results
+                .iter()
+                .filter(|(_, f)| *f == Fetch::Computed)
+                .count(),
+            1
+        );
+        assert!(results
+            .iter()
+            .all(|(_, f)| matches!(f, Fetch::Computed | Fetch::Joined)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_skips_the_disk_but_still_refreshes_it() {
+        let dir = fresh_dir("fresh");
+        let store = ResultStore::open(&dir).unwrap();
+        store.store("k.json", &result("w", 1)).unwrap();
+        let (r, fetch) = store
+            .get_or_compute("k.json", true, || result("w", 2))
+            .unwrap();
+        assert_eq!(fetch, Fetch::Computed);
+        assert_eq!(r.stats.cycles, 2);
+        assert_eq!(
+            store.load("k.json").unwrap().unwrap().stats.cycles,
+            2,
+            "fresh result must be written back"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_flight_propagates_and_unwedges() {
+        let dir = fresh_dir("poison");
+        let store = ResultStore::open(&dir).unwrap();
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            store.get_or_compute("k.json", false, || panic!("sim died"))
+        }));
+        assert!(boom.is_err());
+        // The key is not wedged: the next caller computes normally.
+        let (r, fetch) = store
+            .get_or_compute("k.json", false, || result("w", 5))
+            .unwrap();
+        assert_eq!(fetch, Fetch::Computed);
+        assert_eq!(r.stats.cycles, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -32,16 +32,22 @@
 //! `eval_matrix.json`-style caches ignored) therefore misses the cache and
 //! re-simulates instead of returning stale results. `--fresh` bypasses
 //! reads but still refreshes the cache.
+//!
+//! Cache durability and concurrency live in [`crate::store::ResultStore`]
+//! (atomic writes, corrupt-entry quarantine, single-flight computation),
+//! which this module shares with `btbx serve`: overlapping sweeps — or a
+//! sweep racing a server — on one cache directory compute each unique
+//! point once and never observe torn entries.
 
 use crate::opts::HarnessOpts;
 use crate::runner::run_named_jobs;
+use crate::store::ResultStore;
 use btbx_core::spec::{BtbSpec, Budget};
 use btbx_core::OrgKind;
 use btbx_trace::suite::WorkloadSpec;
-use btbx_uarch::{ParallelSession, SimConfig, SimResult, SimSession};
+use btbx_uarch::{AnyLadder, ParallelSession, SimConfig, SimResult, SimSession};
 use serde::{Deserialize, Serialize};
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// Bump to invalidate every cached simulation (simulator semantics
 /// changed, stats gained fields, …).
@@ -140,6 +146,19 @@ impl SimPoint {
     /// EXPERIMENTS.md, "Interval sharding", for when sharded results are
     /// identical to serial ones.
     pub fn run_sharded(&self, shards: usize, threads: usize) -> SimResult {
+        self.run_sharded_with(shards, threads, None)
+    }
+
+    /// [`run_sharded`](SimPoint::run_sharded) with an optional shared
+    /// [`AnyLadder`]: a ladder reused across runs of the same workload
+    /// (e.g. by `btbx serve` across requests) makes repeat shard
+    /// positioning O(state) instead of a cold skip.
+    pub fn run_sharded_with(
+        &self,
+        shards: usize,
+        threads: usize,
+        ladder: Option<&AnyLadder>,
+    ) -> SimResult {
         if shards <= 1 {
             return self.run();
         }
@@ -148,13 +167,17 @@ impl SimPoint {
         // sources share the handle, index and escape table, so a clone
         // is O(1) and each shard streams its own blocks).
         let proto = self.source();
-        ParallelSession::new(move || proto.clone(), self.btb_spec())
+        let mut session = ParallelSession::new(move || proto.clone(), self.btb_spec())
             .config(self.config.clone())
             .label(self.org.id())
             .warmup(self.warmup)
             .measure(self.measure)
             .shards(shards)
-            .threads(threads)
+            .threads(threads);
+        if let Some(ladder) = ladder {
+            session = session.ladder(ladder);
+        }
+        session
             .run()
             .unwrap_or_else(|e| panic!("sim point {}: {e}", self.cache_file()))
             .result
@@ -307,29 +330,40 @@ impl Sweep {
     }
 
     /// Run every point, reading and writing the per-point cache under
-    /// `opts.out_dir/cache`. Results come back in [`Sweep::points`] order.
+    /// `opts.out_dir/cache` through a [`ResultStore`] (atomic writes,
+    /// corrupt-entry quarantine, single-flight computation shared with
+    /// any concurrent sweep or `btbx serve` on the same directory).
+    /// Results come back in [`Sweep::points`] order.
     ///
     /// With `opts.shards > 1` each simulation replays as that many
     /// interval shards ([`SimPoint::run_sharded`]); sharded results cache
-    /// under shard-tagged file names so they never alias serial ones.
+    /// under shard-tagged file names so they never alias serial ones. The
+    /// thread budget splits between concurrent points and intra-point
+    /// shard fan-out by [`HarnessOpts::pool_split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache directory is unusable or a cache write
+    /// fails — the old code silently discarded those errors and
+    /// recomputed forever.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<SimResult> {
-        let cache_dir = opts.out_dir.join("cache");
+        let store = ResultStore::open(opts.out_dir.join("cache"))
+            .unwrap_or_else(|e| panic!("[{}] opening result cache: {e}", self.name));
         let points = self.points();
         let shards = opts.shards.max(1);
-        // Sharded points fan out internally; divide the pool between the
-        // two levels instead of oversubscribing.
-        let point_threads = if shards > 1 {
-            (opts.threads / shards).max(1)
-        } else {
-            opts.threads
-        };
-        let shard_threads = opts.threads.clamp(1, shards);
+        let (point_threads, shard_threads) = opts.pool_split();
         let mut results: Vec<Option<SimResult>> = Vec::with_capacity(points.len());
         let mut jobs = Vec::new();
         let mut misses: Vec<usize> = Vec::new();
         for (i, point) in points.iter().enumerate() {
-            let path = cache_dir.join(point.cache_file_for(shards));
-            let cached = if opts.fresh { None } else { load_cached(&path) };
+            let name = point.cache_file_for(shards);
+            let cached = if opts.fresh {
+                None
+            } else {
+                store
+                    .load(&name)
+                    .unwrap_or_else(|e| panic!("[{}] {e}", self.name))
+            };
             match cached {
                 Some(r) => results.push(Some(r)),
                 None => {
@@ -342,7 +376,16 @@ impl Sweep {
                         point.budget.label()
                     );
                     let point = point.clone();
-                    jobs.push((label, move || point.run_sharded(shards, shard_threads)));
+                    let store = &store;
+                    let fresh = opts.fresh;
+                    jobs.push((label, move || {
+                        store
+                            .get_or_compute(&name, fresh, || {
+                                point.run_sharded(shards, shard_threads)
+                            })
+                            .unwrap_or_else(|e| panic!("caching {name}: {e}"))
+                            .0
+                    }));
                 }
             }
         }
@@ -352,7 +395,6 @@ impl Sweep {
         }
         let fresh = run_named_jobs(&self.name, point_threads, jobs);
         for (i, result) in misses.into_iter().zip(fresh) {
-            store_cached(&cache_dir.join(points[i].cache_file_for(shards)), &result);
             results[i] = Some(result);
         }
         results
@@ -362,25 +404,13 @@ impl Sweep {
     }
 }
 
-fn load_cached(path: &Path) -> Option<SimResult> {
-    let text = fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
-}
-
-fn store_cached(path: &PathBuf, result: &SimResult) {
-    if let Some(dir) = path.parent() {
-        let _ = fs::create_dir_all(dir);
-    }
-    if let Ok(json) = serde_json::to_string(result) {
-        let _ = fs::write(path, json);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use btbx_core::storage::BudgetPoint;
     use btbx_trace::suite;
+    use std::fs;
+    use std::path::Path;
 
     fn tiny_opts(dir: &str) -> HarnessOpts {
         HarnessOpts {
@@ -525,6 +555,13 @@ mod tests {
         fs::write(&cache, "garbage").unwrap();
         let r2 = sweep.run(&opts);
         assert_eq!(r1[0].stats.instructions, r2[0].stats.instructions);
+        // The damage was quarantined (not silently recomputed forever)
+        // and the atomic rewrite landed a clean entry in its place.
+        let quarantined = cache.with_extension("json.corrupt");
+        assert!(quarantined.exists(), "damaged entry must be quarantined");
+        assert_eq!(fs::read_to_string(&quarantined).unwrap(), "garbage");
+        let r3 = sweep.run(&opts);
+        assert_eq!(r3[0], r2[0], "rewritten entry must serve cache hits");
         let _ = fs::remove_dir_all(&opts.out_dir);
     }
 

@@ -1,0 +1,148 @@
+//! Concurrency and durability of the shared result cache: overlapping
+//! sweeps on one cache directory must agree byte-for-byte, never observe
+//! torn entries, and compute each unique point exactly once.
+//!
+//! This is the regression suite for the pre-`ResultStore` cache, which
+//! wrote entries with a bare `fs::write` (torn files under concurrency or
+//! crashes) and recomputed every point per run when racing.
+
+use btbx_bench::store::ResultStore;
+use btbx_bench::{HarnessOpts, Sweep};
+use btbx_core::storage::BudgetPoint;
+use btbx_core::OrgKind;
+use btbx_trace::suite;
+use btbx_uarch::SimResult;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Barrier;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("btbx-conc-{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(out_dir: &std::path::Path) -> HarnessOpts {
+    HarnessOpts {
+        warmup: 2_000,
+        measure: 4_000,
+        offset_instrs: 10_000,
+        fresh: false,
+        out_dir: out_dir.to_path_buf(),
+        threads: 4,
+        shards: 1,
+        trace: None,
+    }
+}
+
+fn four_point_sweep() -> Sweep {
+    Sweep::named("conc")
+        .workloads(suite::ipc1_client().into_iter().take(2))
+        .orgs([OrgKind::Conv, OrgKind::BtbX])
+        .budgets([BudgetPoint::Kb0_9])
+        .fdip_options([false])
+        .windows(2_000, 4_000)
+}
+
+#[test]
+fn concurrent_sweeps_share_one_computation_per_point() {
+    let out = scratch("sweeps");
+    let sweep = four_point_sweep();
+    let opts = opts(&out);
+    // Open (and hold) a store handle first: per-directory counters and
+    // flights are shared only among concurrently-live stores.
+    let store = ResultStore::open(out.join("cache")).unwrap();
+    let barrier = Barrier::new(2);
+    let (a, b): (Vec<SimResult>, Vec<SimResult>) = std::thread::scope(|scope| {
+        let ra = scope.spawn(|| {
+            barrier.wait();
+            sweep.run(&opts)
+        });
+        let rb = scope.spawn(|| {
+            barrier.wait();
+            sweep.run(&opts)
+        });
+        (ra.join().unwrap(), rb.join().unwrap())
+    });
+
+    // Byte-identical results in both runs (SimResult: Eq covers every
+    // stat; serialization equality pins the cached bytes too).
+    assert_eq!(a.len(), 4);
+    assert_eq!(a, b, "concurrent sweeps must agree exactly");
+
+    // The single-flight path computed each unique point exactly once
+    // even though both sweeps missed the (empty) cache.
+    let counters = store.counters();
+    assert_eq!(
+        counters.computes, 4,
+        "each unique point computes once across both sweeps: {counters:?}"
+    );
+    assert_eq!(counters.quarantined, 0, "no entry may be damaged");
+
+    // Every cache entry on disk is complete and parseable — no torn
+    // writes, no lingering temp files.
+    let mut entries = 0;
+    for entry in fs::read_dir(out.join("cache")).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(".json"),
+            "unexpected cache artifact: {name} (temp file leak?)"
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        let _: SimResult = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("torn or damaged entry {name}: {e}"));
+        entries += 1;
+    }
+    assert_eq!(entries, 4);
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn second_sweep_rides_the_cache_with_zero_computes() {
+    let out = scratch("warm");
+    let sweep = four_point_sweep();
+    let opts = opts(&out);
+    let store = ResultStore::open(out.join("cache")).unwrap();
+    let first = sweep.run(&opts);
+    let computes_after_first = store.counters().computes;
+    assert_eq!(computes_after_first, 4, "cold sweep computes everything");
+    let second = sweep.run(&opts);
+    assert_eq!(first, second);
+    assert_eq!(
+        store.counters().computes,
+        computes_after_first,
+        "warm sweep must be served entirely from disk"
+    );
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn sweeps_racing_with_damaged_entries_recover() {
+    let out = scratch("damage");
+    let sweep = four_point_sweep();
+    let opts = opts(&out);
+    let first = sweep.run(&opts);
+
+    // Damage two entries the way a torn legacy write would have: one
+    // truncated JSON prefix, one garbage file.
+    let cache = out.join("cache");
+    let mut names: Vec<PathBuf> = fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    names.sort();
+    fs::write(&names[0], "{\"workload\":\"cli").unwrap();
+    fs::write(&names[1], "not json at all").unwrap();
+
+    let again = sweep.run(&opts);
+    assert_eq!(first, again, "recovered results must match the originals");
+    // The damaged bytes are preserved for inspection, not silently lost.
+    let corrupt: Vec<_> = fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".corrupt"))
+        .collect();
+    assert_eq!(corrupt.len(), 2, "both damaged entries quarantined");
+    let _ = fs::remove_dir_all(&out);
+}

@@ -101,8 +101,89 @@ where
         .collect()
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// A long-lived worker pool for service-style workloads (e.g. `btbx
+/// serve` request handling), complementing the batch-oriented
+/// [`run_named_jobs`].
+///
+/// Differences from the batch pool:
+///
+/// * workers live until [`ServicePool::shutdown`] (or drop) instead of
+///   until a job list drains;
+/// * a panicking job is logged and *absorbed* — the worker keeps serving.
+///   A long-lived service must not let one poisoned request kill the
+///   process; per-request failure reporting is the submitter's job.
+///
+/// Shutdown is graceful: already-submitted jobs finish before the workers
+/// exit.
+pub struct ServicePool {
+    sender: Option<std::sync::mpsc::Sender<ServiceJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A queued service job: display label plus the work itself.
+type ServiceJob = (String, Box<dyn FnOnce() + Send>);
+
+impl ServicePool {
+    /// Spawn `threads` workers (at least one), labelled for panic logs.
+    pub fn new(pool_label: &str, threads: usize) -> Self {
+        let (sender, receiver) = std::sync::mpsc::channel::<ServiceJob>();
+        let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let receiver = std::sync::Arc::clone(&receiver);
+                let pool_label = pool_label.to_string();
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while receiving, not while
+                    // running the job.
+                    let job = receiver.lock().unwrap().recv();
+                    match job {
+                        Ok((name, job)) => {
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                eprintln!("[{pool_label}] job `{name}` panicked; worker continues");
+                            }
+                        }
+                        Err(_) => break, // all senders dropped: shutdown
+                    }
+                })
+            })
+            .collect();
+        ServicePool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Queue a job; some worker runs it as soon as one is free.
+    pub fn submit(&self, name: impl Into<String>, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is live until shutdown")
+            .send((name.into(), Box::new(job)))
+            .expect("workers outlive the sender");
+    }
+
+    /// Drain queued jobs and join every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (public so the
+/// result store and the service can format caught panics the same way).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -163,6 +244,41 @@ mod tests {
         assert!(msg.contains("doomed"), "label missing: {msg}");
         assert!(msg.contains("simulated workload failure"), "{msg}");
         assert!(msg.contains("pool"), "{msg}");
+    }
+
+    #[test]
+    fn service_pool_runs_jobs_and_drains_on_shutdown() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = ServicePool::new("svc", 3);
+        for _ in 0..40 {
+            let ran = Arc::clone(&ran);
+            pool.submit("tick", move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 40, "shutdown must drain");
+    }
+
+    #[test]
+    fn service_pool_survives_panicking_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = ServicePool::new("svc", 1);
+        pool.submit("doomed", || panic!("bad request"));
+        let after = Arc::clone(&ran);
+        pool.submit("fine", move || {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            1,
+            "the worker must outlive a panicking job"
+        );
     }
 
     #[test]

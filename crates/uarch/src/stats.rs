@@ -9,7 +9,7 @@ use btbx_core::stats::AccessCounts;
 use serde::{Deserialize, Serialize};
 
 /// Statistics over the measurement window of one simulation.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Committed instructions.
     pub instructions: u64,
@@ -105,7 +105,7 @@ impl SimStats {
 }
 
 /// A finished simulation: workload/organization identity plus statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Workload name.
     pub workload: String,
