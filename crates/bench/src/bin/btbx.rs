@@ -14,6 +14,7 @@
 //! results are cached per-parameter-set under `<out>/cache`, so repeated
 //! and overlapping invocations share runs.
 
+use btbx_bench::cluster::{self, ClusterConfig};
 use btbx_bench::opts::{OptError, OPTIONS_USAGE};
 use btbx_bench::registry::{self, ExperimentKind};
 use btbx_bench::report::write_artifact;
@@ -47,6 +48,7 @@ commands:
   all             run the full reproduction and write RESULTS.md
   sweep           run a custom workload x org x budget x FDIP matrix
   serve           run a JSON-over-HTTP simulation service over the cache
+  cluster         probe a fleet of serve nodes (cluster status ADDR,...)
   bench           measure simulator throughput, write BENCH_sim.json
   trace           convert/inspect/check .btbt trace containers
   list            list every runnable experiment
@@ -73,6 +75,10 @@ selection:
                    (orgs/budgets/fdip still apply; see btbx trace)
   --server ADDR    POST every point to a running `btbx serve` at ADDR
                    (host:port) instead of simulating locally
+  --cluster LIST   fan the matrix out across a fleet of serve nodes
+                   (comma-separated host:port list) with work stealing,
+                   health probing and retry-on-node-loss; results are
+                   published into the local <out>/cache
 
 spec files:
   --save FILE      write the sweep as JSON and exit (no simulation)
@@ -132,6 +138,7 @@ fn main() {
         }
         "sweep" => sweep_cmd(args),
         "serve" => serve_cmd(args),
+        "cluster" => cluster_cmd(args),
         "bench" => bench_cmd(args),
         "trace" => trace_cmd(args),
         name => match registry::find(name) {
@@ -209,6 +216,10 @@ fn list() {
         "  {:<12} {:<8} JSON-over-HTTP simulation service (btbx serve --help)",
         "serve", ""
     );
+    println!(
+        "  {:<12} {:<8} probe a serve fleet (btbx cluster --help)",
+        "cluster", ""
+    );
 }
 
 fn sweep_cmd(args: Vec<String>) {
@@ -221,6 +232,7 @@ fn sweep_cmd(args: Vec<String>) {
     let mut save: Option<String> = None;
     let mut spec_file: Option<String> = None;
     let mut server: Option<String> = None;
+    let mut cluster_list: Option<String> = None;
     let mut rest = Vec::new();
 
     let mut it = args.into_iter();
@@ -252,6 +264,7 @@ fn sweep_cmd(args: Vec<String>) {
             "--save" => save = Some(value("--save")),
             "--spec" => spec_file = Some(value("--spec")),
             "--server" => server = Some(value("--server")),
+            "--cluster" => cluster_list = Some(value("--cluster")),
             "--help" | "-h" => {
                 println!("{SWEEP_USAGE}\n\n{OPTIONS_USAGE}");
                 return;
@@ -260,6 +273,9 @@ fn sweep_cmd(args: Vec<String>) {
         }
     }
     let opts = parse_opts(rest, "sweep", Some(SWEEP_USAGE));
+    if server.is_some() && cluster_list.is_some() {
+        fail("--server and --cluster are mutually exclusive");
+    }
 
     let sweep = if let Some(path) = spec_file {
         let json = std::fs::read_to_string(&path)
@@ -327,9 +343,21 @@ fn sweep_cmd(args: Vec<String>) {
         return;
     }
 
-    let results = match &server {
-        Some(addr) => btbx_bench::serve::sweep_via_server(&sweep, &opts, addr),
-        None => sweep.run(&opts),
+    let results = if let Some(list) = &cluster_list {
+        let nodes =
+            cluster::parse_node_list(list).unwrap_or_else(|e| fail(&format!("--cluster: {e}")));
+        let config = ClusterConfig::from_opts(nodes, &opts);
+        cluster::sweep_via_cluster(&sweep, &opts, &config).unwrap_or_else(|e| {
+            eprintln!("error: cluster sweep failed: {e}");
+            std::process::exit(1);
+        })
+    } else if let Some(addr) = &server {
+        btbx_bench::serve::sweep_via_server(&sweep, &opts, addr).unwrap_or_else(|e| {
+            eprintln!("error: server sweep failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        sweep.run(&opts)
     };
     let mut csv = String::from("workload,org,budget_bits,fdip,ipc,btb_mpki,l1i_mpki,flush_pki\n");
     println!(
@@ -406,6 +434,113 @@ fn serve_cmd(args: Vec<String>) {
             .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
     }
     server.join();
+}
+
+const CLUSTER_USAGE: &str = "\
+usage: btbx cluster status ADDR[,ADDR...]
+
+Probe every node of a `btbx serve` fleet (GET /healthz + GET /stats)
+and print a per-node table: reachability, service and cache versions,
+shard configuration, and request/cache counters.
+
+Exits 1 when any node is unreachable or the fleet mixes cache versions
+or shard configurations (a coordinator would refuse it too).
+
+options:
+  --http-timeout-ms N  per-phase probe timeout            [2000]";
+
+fn cluster_cmd(mut args: Vec<String>) {
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | None => {
+            println!("{CLUSTER_USAGE}");
+            return;
+        }
+        Some("status") => {
+            args.remove(0);
+        }
+        Some(other) => fail(&format!("unknown cluster subcommand `{other}`")),
+    }
+    let mut list: Option<String> = None;
+    let mut timeout = std::time::Duration::from_secs(2);
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--http-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--http-timeout-ms expects milliseconds"));
+                timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => {
+                println!("{CLUSTER_USAGE}");
+                return;
+            }
+            other if list.is_none() && !other.starts_with('-') => list = Some(other.to_string()),
+            other => fail(&format!("cluster status: unexpected `{other}`")),
+        }
+    }
+    let list = list.unwrap_or_else(|| fail("cluster status expects a node list"));
+    let nodes = cluster::parse_node_list(&list).unwrap_or_else(|e| fail(&format!("cluster: {e}")));
+
+    println!(
+        "{:<22} {:<12} {:>8} {:>7} {:>9} {:>7} {:>9} {:>6} {:>7}",
+        "node", "state", "version", "cachev", "shards", "reqs", "computes", "disk", "joins"
+    );
+    let mut cache_versions: Vec<u32> = Vec::new();
+    let mut shard_counts: Vec<usize> = Vec::new();
+    let mut unreachable = 0usize;
+    for node in &nodes {
+        match cluster::protocol::probe_health(node, timeout) {
+            Ok(health) => {
+                cache_versions.push(health.cache_version);
+                shard_counts.push(health.shards);
+                let stats = cluster::protocol::probe_stats(node, timeout);
+                let (reqs, computes, disk, joins) = match &stats {
+                    Ok(s) => (
+                        s.requests.to_string(),
+                        s.store.computes.to_string(),
+                        s.store.disk_hits.to_string(),
+                        s.store.joins.to_string(),
+                    ),
+                    Err(_) => ("?".into(), "?".into(), "?".into(), "?".into()),
+                };
+                println!(
+                    "{:<22} {:<12} {:>8} {:>7} {:>9} {:>7} {:>9} {:>6} {:>7}",
+                    node,
+                    "healthy",
+                    health.version,
+                    health.cache_version,
+                    health.shards,
+                    reqs,
+                    computes,
+                    disk,
+                    joins
+                );
+            }
+            Err(e) => {
+                unreachable += 1;
+                println!("{node:<22} {:<12} {e}", "unreachable");
+            }
+        }
+    }
+    let mut problems = Vec::new();
+    if unreachable > 0 {
+        problems.push(format!("{unreachable} node(s) unreachable"));
+    }
+    cache_versions.dedup();
+    if cache_versions.len() > 1 {
+        problems.push("fleet mixes cache versions".to_string());
+    }
+    shard_counts.dedup();
+    if shard_counts.len() > 1 {
+        problems.push("fleet mixes shard configurations".to_string());
+    }
+    if !problems.is_empty() {
+        eprintln!("cluster status: {}", problems.join("; "));
+        std::process::exit(1);
+    }
+    println!("fleet OK: {} node(s) healthy and compatible", nodes.len());
 }
 
 const BENCH_USAGE: &str = "\

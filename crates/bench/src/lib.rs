@@ -23,10 +23,14 @@
 //!   server;
 //! * [`serve`] — `btbx serve`, a long-lived JSON-over-HTTP simulation
 //!   service deduplicating concurrent requests through the store;
+//! * [`cluster`] — the distributed sweep fabric: a coordinator that
+//!   drives a sweep matrix across a fleet of serve nodes with work
+//!   stealing, health tracking, and retry-on-node-loss;
 //! * [`perf`] — the `btbx bench` simulator-throughput benchmark and its
 //!   `BENCH_sim.json` trajectory/regression gate;
 //! * [`report`] — text/CSV emission helpers.
 
+pub mod cluster;
 pub mod experiments;
 pub mod figures;
 pub mod opts;

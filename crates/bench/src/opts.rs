@@ -32,7 +32,16 @@ pub struct HarnessOpts {
     /// suites (`sweep` substitutes it for the selected suite; `bench`
     /// measures file-backed throughput on it).
     pub trace: Option<PathBuf>,
+    /// HTTP client timeout in milliseconds for `--server`/`--cluster`
+    /// transports, applied per phase (connect, write, read) so a wedged
+    /// node cannot stall a sweep indefinitely.
+    pub http_timeout_ms: u64,
 }
+
+/// Default [`HarnessOpts::http_timeout_ms`]: generous enough for the
+/// largest single simulation a node might compute synchronously, small
+/// enough that a truly wedged peer is eventually abandoned.
+pub const DEFAULT_HTTP_TIMEOUT_MS: u64 = 600_000;
 
 impl Default for HarnessOpts {
     fn default() -> Self {
@@ -47,6 +56,7 @@ impl Default for HarnessOpts {
                 .unwrap_or(2),
             shards: 1,
             trace: None,
+            http_timeout_ms: DEFAULT_HTTP_TIMEOUT_MS,
         }
     }
 }
@@ -100,6 +110,8 @@ options:
   --shards N         interval shards per simulation        [1]
   --trace FILE       replay a .btbt trace container instead of the
                      synthetic suites (see `btbx trace --help`)
+  --http-timeout-ms N  per-phase HTTP timeout for --server/--cluster
+                     transports                           [600000]
   --fresh            re-simulate even when cached results exist
   --out DIR          artifact + cache directory            [results]
   -h, --help         show this help";
@@ -131,6 +143,9 @@ impl HarnessOpts {
                 "--offset-instrs" => opts.offset_instrs = take("--offset-instrs")?,
                 "--threads" => opts.threads = take("--threads")? as usize,
                 "--shards" => opts.shards = (take("--shards")? as usize).max(1),
+                "--http-timeout-ms" => {
+                    opts.http_timeout_ms = take("--http-timeout-ms")?.max(1);
+                }
                 "--quick" => {
                     opts.warmup = 150_000;
                     opts.measure = 300_000;
@@ -174,6 +189,11 @@ impl HarnessOpts {
     /// finishes sooner).
     pub fn pool_split(&self) -> (usize, usize) {
         pool_split(self.threads, self.shards)
+    }
+
+    /// The HTTP client timeout as a [`std::time::Duration`].
+    pub fn http_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.http_timeout_ms)
     }
 
     /// Parse from the process arguments, exiting with usage on errors (the
@@ -252,6 +272,17 @@ mod tests {
         let o = parse(&["--trace", "/tmp/t.btbt"]).unwrap();
         assert_eq!(o.trace, Some(PathBuf::from("/tmp/t.btbt")));
         assert!(parse(&["--trace"]).is_err());
+    }
+
+    #[test]
+    fn http_timeout_parses_and_clamps() {
+        assert_eq!(parse(&[]).unwrap().http_timeout_ms, DEFAULT_HTTP_TIMEOUT_MS);
+        let o = parse(&["--http-timeout-ms", "2500"]).unwrap();
+        assert_eq!(o.http_timeout_ms, 2500);
+        assert_eq!(o.http_timeout(), std::time::Duration::from_millis(2500));
+        let o = parse(&["--http-timeout-ms", "0"]).unwrap();
+        assert_eq!(o.http_timeout_ms, 1, "zero would panic connect_timeout");
+        assert!(parse(&["--http-timeout-ms", "soon"]).is_err());
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! | Endpoint         | Body / response                                   |
 //! |------------------|---------------------------------------------------|
 //! | `POST /sim`      | [`SimPoint`] JSON → [`SimResult`] JSON            |
-//! | `GET /healthz`   | `{"ok":true}` liveness probe                      |
+//! | `GET /healthz`   | [`crate::cluster::HealthInfo`] JSON: liveness +   |
+//! |                  | the fleet compat handshake (version, cache        |
+//! |                  | version, shards, orgs)                            |
 //! | `GET /stats`     | [`ServeStats`] JSON (request + cache counters)    |
 //! | `POST /shutdown` | `{"ok":true}`, then graceful drain and exit       |
 //!
@@ -34,15 +36,16 @@
 //! `{"error": "..."}` with 400 (malformed request) or 500 (failed
 //! simulation) status. See EXPERIMENTS.md, "The simulation service".
 
+use crate::cluster::protocol::{self, ClusterError, PointError};
 use crate::opts::{pool_split, HarnessOpts};
 use crate::runner::ServicePool;
 use crate::store::{Fetch, ResultStore, StoreCounters, StoreError};
 use crate::sweep::{SimPoint, Sweep};
 use btbx_uarch::{AnyLadder, SimResult};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -83,8 +86,9 @@ impl ServeConfig {
     }
 }
 
-/// Counters reported by `GET /stats`.
-#[derive(Debug, Clone, Copy, Serialize)]
+/// Counters reported by `GET /stats` (`Deserialize` so cluster
+/// clients can read them back, e.g. `btbx cluster status`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ServeStats {
     /// HTTP requests accepted (all endpoints).
     pub requests: u64,
@@ -256,7 +260,11 @@ fn route(
 ) -> Result<(), (u16, String)> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let _ = respond_json(stream, 200, "{\"ok\":true}", None);
+            // Liveness plus the fleet compat handshake: version,
+            // CACHE_VERSION, shard config, supported orgs.
+            let info = protocol::health_info(state.shards);
+            let body = serde_json::to_string(&info).expect("health info serializes");
+            let _ = respond_json(stream, 200, &body, None);
             Ok(())
         }
         ("GET", "/stats") => {
@@ -421,19 +429,54 @@ impl HttpResponse {
 
 /// Minimal blocking HTTP/1.1 client for the service (the `btbx sweep
 /// --server` transport, tests, and smoke scripts). `addr` is
-/// `host:port`, optionally prefixed with `http://`.
+/// `host:port`, optionally prefixed with `http://`. Uses the default
+/// request timeout ([`crate::opts::DEFAULT_HTTP_TIMEOUT_MS`]); cluster
+/// paths use [`http_request_timeout`] to honour `--http-timeout-ms`.
 ///
 /// # Errors
 ///
 /// [`io::Error`] on connection or protocol failures. Non-2xx statuses
 /// are returned, not errors.
 pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+    http_request_timeout(
+        addr,
+        method,
+        path,
+        body,
+        Duration::from_millis(crate::opts::DEFAULT_HTTP_TIMEOUT_MS),
+    )
+}
+
+/// [`http_request`] with an explicit timeout applied to *every* phase —
+/// connect, write, and read — so a hung or wedged peer can never stall
+/// the caller indefinitely (one wedged node must not pin a whole
+/// cluster sweep).
+///
+/// # Errors
+///
+/// [`io::Error`] on connection or protocol failures;
+/// [`io::ErrorKind::TimedOut`]/[`io::ErrorKind::WouldBlock`] when a
+/// phase exceeds `timeout`.
+pub fn http_request_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
     let addr = addr
         .trim_start_matches("http://")
         .trim_end_matches('/')
         .to_string();
-    let mut stream = TcpStream::connect(&addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    // connect_timeout panics on a zero duration; clamp defensively.
+    let timeout = timeout.max(Duration::from_millis(1));
+    // connect_timeout needs a resolved SocketAddr; take the first.
+    let socket_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: no address"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     stream.write_all(
         format!(
             "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
@@ -495,29 +538,66 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Res
 /// client jobs. Results come back in [`Sweep::points`] order, exactly
 /// like [`Sweep::run`] — the server owns the cache and the dedup.
 ///
-/// # Panics
+/// Before any work is dispatched the server's `/healthz` handshake is
+/// verified: a server on a different `CACHE_VERSION` (or missing one of
+/// the sweep's organizations) is refused up front, because its results
+/// would be silently incompatible with this client's cache.
 ///
-/// Panics when the server is unreachable or answers non-200 for a
-/// point (the same fail-the-run contract as a local sweep).
-pub fn sweep_via_server(sweep: &Sweep, opts: &HarnessOpts, addr: &str) -> Vec<SimResult> {
+/// # Errors
+///
+/// [`ClusterError::Unreachable`]/[`ClusterError::CacheVersionMismatch`]
+/// /[`ClusterError::MissingOrgs`] when the handshake fails, and
+/// [`ClusterError::Points`] naming every point (node address + cache
+/// key + status) that failed — no more panicking mid-sweep.
+pub fn sweep_via_server(
+    sweep: &Sweep,
+    opts: &HarnessOpts,
+    addr: &str,
+) -> Result<Vec<SimResult>, ClusterError> {
+    let timeout = opts.http_timeout();
+    let info =
+        protocol::probe_health(addr, timeout).map_err(|error| ClusterError::Unreachable {
+            node: addr.to_string(),
+            error,
+        })?;
+    protocol::verify_cache_version(addr, &info)?;
+    protocol::verify_orgs(addr, &info, &sweep.orgs)?;
+
     let points = sweep.points();
     let jobs: Vec<(String, _)> = points
         .into_iter()
         .map(|point| {
             let label = format!("{}:{}@server", point.workload.name, point.org.id());
             let addr = addr.to_string();
-            let job = move || {
-                let body = serde_json::to_string(&point).expect("points serialize");
-                let response = http_request(&addr, "POST", "/sim", &body)
-                    .unwrap_or_else(|e| panic!("POST {addr}/sim: {e}"));
-                if response.status != 200 {
-                    panic!("server {}: {}", response.status, response.body);
-                }
-                serde_json::from_str(&response.body)
-                    .unwrap_or_else(|e| panic!("bad result from server: {e}"))
+            let shards = info.shards;
+            let job = move || -> Result<SimResult, PointError> {
+                protocol::post_point(&addr, &point, timeout).map_err(|error| PointError {
+                    node: addr.clone(),
+                    point: point.cache_file_for(shards),
+                    label: format!(
+                        "{}:{}@{}",
+                        point.workload.name,
+                        point.org.id(),
+                        point.budget
+                    ),
+                    error,
+                })
             };
             (label, job)
         })
         .collect();
-    crate::runner::run_named_jobs(&format!("{}@server", sweep.name), opts.threads, jobs)
+    let outcomes =
+        crate::runner::run_named_jobs(&format!("{}@server", sweep.name), opts.threads, jobs);
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(e) => failures.push(e),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(ClusterError::Points(failures));
+    }
+    Ok(results)
 }

@@ -35,7 +35,7 @@
 //! and the second rename wins with byte-identical content.
 
 use btbx_uarch::SimResult;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
@@ -89,8 +89,10 @@ pub enum Fetch {
     Joined,
 }
 
-/// Monotonic counters for one shared (per-directory) store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+/// Monotonic counters for one shared (per-directory) store
+/// (`Deserialize` so cluster clients can read them back out of a
+/// node's `GET /stats` response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreCounters {
     /// Computations actually run (cache misses that won their flight).
     pub computes: u64,

@@ -422,6 +422,7 @@ mod tests {
             threads: 2,
             shards: 1,
             trace: None,
+            http_timeout_ms: 600_000,
         }
     }
 

@@ -44,9 +44,15 @@ fn protocol_basics() {
     let (server, out) = start("protocol", 1);
     let addr = server.addr().to_string();
 
+    // /healthz carries the fleet compat handshake, not a bare ok.
     let health = http_request(&addr, "GET", "/healthz", "").unwrap();
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, "{\"ok\":true}");
+    let info: btbx_bench::cluster::HealthInfo = serde_json::from_str(&health.body).unwrap();
+    assert!(info.ok);
+    assert_eq!(info.cache_version, btbx_bench::sweep::CACHE_VERSION);
+    assert_eq!(info.shards, 1);
+    assert_eq!(info.version, env!("CARGO_PKG_VERSION"));
+    assert!(info.orgs.iter().any(|o| o == "btbx"), "{:?}", info.orgs);
 
     let missing = http_request(&addr, "GET", "/nope", "").unwrap();
     assert_eq!(missing.status, 404);
@@ -168,6 +174,7 @@ fn served_results_are_byte_identical_to_the_serial_cli_path() {
         threads: 2,
         shards: 1,
         trace: None,
+        http_timeout_ms: 600_000,
     });
 
     // Same points through a fresh server (separate cache).
@@ -210,10 +217,20 @@ fn sweep_via_server_matches_local_sweep_order_and_results() {
         threads: 4,
         shards: 1,
         trace: None,
+        http_timeout_ms: 600_000,
     };
     let local = sweep.run(&opts);
-    let remote = btbx_bench::serve::sweep_via_server(&sweep, &opts, &addr);
+    let remote =
+        btbx_bench::serve::sweep_via_server(&sweep, &opts, &addr).expect("server sweep succeeds");
     assert_eq!(local, remote, "remote sweep must mirror the local one");
+
+    // A dead address surfaces as a typed handshake error, not a panic.
+    let err = btbx_bench::serve::sweep_via_server(&sweep, &opts, "127.0.0.1:9")
+        .expect_err("unreachable server must be a typed error");
+    assert!(
+        matches!(err, btbx_bench::cluster::ClusterError::Unreachable { .. }),
+        "{err}"
+    );
 
     server.shutdown().unwrap();
     server.join();
