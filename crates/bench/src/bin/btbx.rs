@@ -780,12 +780,11 @@ fn trace_check(args: Vec<String>) {
     let warmup = total / 5;
     let measure = total - warmup;
 
-    // Exact mode: commit width 1 puts chunk boundaries on commit
-    // boundaries, and a carry-in covering the whole prefix makes every
-    // shard replay the serial history — byte-identical stats for ANY
-    // trace, not just periodic ones (see EXPERIMENTS.md).
-    let mut config = SimConfig::with_fdip();
-    config.commit_width = 1;
+    // Checkpoint mode: shards restore warm microarchitectural snapshots
+    // and measure to absolute committed targets on the serial
+    // trajectory — byte-identical stats for ANY trace at the default
+    // commit width (see EXPERIMENTS.md, "Interval sharding").
+    let config = SimConfig::with_fdip();
     let spec = BtbSpec::of(OrgKind::BtbX);
 
     let serial = SimSession::new(proto.clone())
@@ -803,7 +802,7 @@ fn trace_check(args: Vec<String>) {
             .warmup(warmup)
             .measure(measure)
             .shards(shards)
-            .carry_in(warmup + measure)
+            .checkpoints(true)
             .run()
             .unwrap_or_else(|e| fail(&format!("sharded replay: {e}")))
     };
@@ -827,10 +826,11 @@ fn trace_check(args: Vec<String>) {
     );
     println!(
         "  telemetry: {} B peak event buffers, {:.2}% serial setup, \
-         {} instrs advanced",
+         {} instrs warmed, {} B largest snapshot",
         telemetry.peak_event_buffer_bytes,
         setup_share * 100.0,
-        telemetry.advanced_instructions,
+        telemetry.warmed_instructions,
+        telemetry.snapshot_bytes,
     );
 
     let mut failures = Vec::new();

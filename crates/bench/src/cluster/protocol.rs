@@ -10,8 +10,10 @@
 //!   was added: service version, [`CACHE_VERSION`], shard configuration
 //!   and the supported organizations. Coordinators refuse fleets whose
 //!   nodes disagree on `cache_version` (their cache entries would be
-//!   mutually unreadable) or `shards` (their results would not be
-//!   comparable), instead of silently mixing them.
+//!   mutually unreadable) or `shards` (results are bit-identical either
+//!   way since cache v3's warm-checkpoint engine, but a uniform fleet
+//!   keeps throughput and telemetry comparable), instead of silently
+//!   mixing them.
 //! * [`RequestError`] — one HTTP request's failure, split into
 //!   transport errors (retryable on another node), server errors
 //!   (retryable), and client errors (a 4xx is deterministic: retrying
@@ -42,8 +44,9 @@ pub struct HealthInfo {
     /// The node's [`CACHE_VERSION`]: results are only cache-compatible
     /// between equal versions.
     pub cache_version: u32,
-    /// Interval shards per simulation on this node (`1` = serial,
-    /// byte-identical to the serial CLI path).
+    /// Interval shards per simulation on this node. Since cache v3's
+    /// warm-checkpoint engine every shard count produces results
+    /// byte-identical to the serial path.
     pub shards: usize,
     /// Organization ids this node can simulate.
     pub orgs: Vec<String>,
@@ -159,9 +162,10 @@ pub enum ClusterError {
         /// This client's cache version.
         expected: u32,
     },
-    /// Nodes disagree on shards-per-simulation; sharded results are not
-    /// guaranteed byte-identical to serial ones, so a mixed fleet would
-    /// produce an inconsistent result set.
+    /// Nodes disagree on shards-per-simulation. Results are
+    /// bit-identical at any shard count (warm-checkpoint mode), so this
+    /// is configuration hygiene rather than a correctness boundary: a
+    /// uniform fleet keeps node throughput and telemetry comparable.
     MixedShards {
         /// Node address.
         node: String,
@@ -211,8 +215,9 @@ impl fmt::Display for ClusterError {
             } => write!(
                 f,
                 "node {node} runs {found} shards/simulation but the fleet runs \
-                 {expected}; mixed shard configurations would produce \
-                 non-comparable results"
+                 {expected}; keep the fleet uniformly configured (results \
+                 would be identical, but throughput and telemetry would not \
+                 be comparable)"
             ),
             ClusterError::MissingOrgs { node, missing } => write!(
                 f,

@@ -41,7 +41,9 @@ pub mod runner;
 pub mod serve;
 pub mod store;
 pub mod sweep;
+pub mod warm;
 
 pub use opts::HarnessOpts;
 pub use store::ResultStore;
 pub use sweep::{SimPoint, Sweep};
+pub use warm::WarmCache;

@@ -10,20 +10,23 @@
 //!   (the default path of every spec-driven session);
 //! * `serial-dyn` — the legacy `Box<dyn Btb>` compatibility path, for the
 //!   static-vs-virtual dispatch trajectory;
-//! * `sharded` — [`btbx_uarch::ParallelSession`] with
-//!   [`SHARDS`] interval shards and a bounded warm-up carry-in, the
-//!   single-run wall-clock path.
+//! * `sharded` — [`btbx_uarch::ParallelSession`] in warm-checkpoint
+//!   mode with [`SHARDS`] interval shards, the single-run wall-clock
+//!   path. Checkpoint mode is **bit-exact**: the sharded `btb_mpki`
+//!   must equal the serial one and the run fails otherwise (see
+//!   [`check_exactness`]) — the CI gate that keeps the sharded-accuracy
+//!   gap closed.
 //!
-//! Events/sec counts *measured* instructions only: the serial runs pay the
-//! full warm-up prefix, the sharded run replaces it with [`SHARDS`]
-//! bounded carry-ins — every shard streams its own window, positioned
-//! through a [`CheckpointLadder`] shared across the whole bench, so trace
-//! generation for a position is paid at most once per process, the way a
-//! real sweep (Table IV: budgets × orgs × FDIP over the same traces)
-//! amortizes it. Each mode reports the best of [`REPS`] repetitions to
-//! damp scheduler noise; for the sharded mode the best repetition is by
-//! construction a ladder-warm one, which is the steady state a sweep
-//! runs in.
+//! Events/sec counts *measured* instructions only: the serial runs pay
+//! the full warm-up prefix, the sharded runs restore warmed
+//! microarchitectural snapshots from a per-org
+//! [`btbx_uarch::WarmLadder`] shared across repetitions and persisted
+//! via [`crate::warm::WarmCache`], so a warm repetition simulates zero
+//! warm-up instructions — the steady state of a real sweep (Table IV:
+//! budgets × orgs × FDIP over the same traces). Each mode reports the
+//! best of [`REPS`] repetitions to damp scheduler noise; for the
+//! sharded mode the best repetition is by construction a ladder-warm
+//! one.
 //!
 //! Besides throughput, every entry records its **event-buffer footprint**
 //! (peak bytes of buffered trace events — O(1) blocks since the streaming
@@ -44,13 +47,14 @@
 
 use crate::opts::HarnessOpts;
 use crate::report::write_artifact;
+use crate::warm::WarmCache;
 use btbx_core::OrgKind;
 use btbx_trace::container::write_container;
 use btbx_trace::source::TraceSource;
 use btbx_trace::suite::WorkloadSpec;
 use btbx_trace::{suite, AnySource, PackedFileSource};
 use btbx_uarch::sim::EVENT_BLOCK_BYTES;
-use btbx_uarch::{AnyLadder, ParallelSession, SimConfig, SimSession};
+use btbx_uarch::{warm_identity, AnyWarmLadder, ParallelSession, SimConfig, SimSession};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
@@ -81,12 +85,11 @@ pub struct BenchEntry {
     pub seconds: f64,
     /// `events / seconds` — the recorded throughput.
     pub events_per_sec: f64,
-    /// Taken-branch BTB MPKI of the run, recorded so the accuracy cost
-    /// of the sharded mode's bounded carry-in stays visible in the
-    /// trajectory. The serial modes agree exactly (the differential
-    /// suite pins that); the sharded figure runs *higher* on this
-    /// large-footprint workload because `carry_in` instructions cannot
-    /// fully warm the BTB the way the serial warm-up prefix does.
+    /// Taken-branch BTB MPKI of the run. Since warm-checkpoint sharding
+    /// (schema v4) every mode of an org must agree **exactly** — the
+    /// historical sharded-vs-serial gap (bounded carry-in under-warming
+    /// the BTB) is gone, and [`check_exactness`] fails the bench if it
+    /// ever reopens.
     pub btb_mpki: f64,
     /// Event-buffer footprint of the run's design: one packed staging
     /// block per concurrently live simulator
@@ -104,6 +107,21 @@ pub struct BenchEntry {
     /// streams (checkpoint claims plus generator skip-steps).
     #[serde(default)]
     pub position_seconds: f64,
+    /// Sharded runs: largest sealed warm snapshot restored or produced
+    /// (bytes) — the O(state) payload a warm re-run moves instead of
+    /// simulating the warm-up prefix (schema v4).
+    #[serde(default)]
+    pub snapshot_bytes: u64,
+    /// Sharded runs: summed seconds shards spent restoring (or cold-
+    /// building and sealing) warm snapshots (schema v4).
+    #[serde(default)]
+    pub restore_seconds: f64,
+    /// Sharded runs: warm-up instructions actually simulated. A
+    /// ladder-warm repetition restores instead and records 0 — the
+    /// telemetry signature that no warm-up prefix was replayed
+    /// (schema v4).
+    #[serde(default)]
+    pub warmed_instructions: u64,
 }
 
 /// The generation-vs-simulation wall-clock split: one generation-only
@@ -126,7 +144,9 @@ pub struct BenchWindows {
     pub warmup: u64,
     /// Measured instructions.
     pub measure: u64,
-    /// Per-shard simulated warm-up carry-in of the sharded mode.
+    /// Historical (schema ≤ 3): per-shard simulated warm-up carry-in of
+    /// the approximate sharded mode. Warm-checkpoint sharding has no
+    /// carry-in; recorded as 0 since schema v4.
     pub carry_in: u64,
     /// Shard count of the sharded mode.
     pub shards: usize,
@@ -150,8 +170,9 @@ pub struct ContainerRead {
 /// The `BENCH_sim.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
-    /// Schema tag (`btbx-bench-sim/3` since the container-read field
-    /// landed; 2 added the streaming fields).
+    /// Schema tag (`btbx-bench-sim/4` since warm-checkpoint sharding
+    /// landed with the snapshot fields; 3 added the container-read
+    /// field; 2 the streaming fields).
     pub schema: String,
     /// `smoke` or `full`.
     pub mode: String,
@@ -182,6 +203,9 @@ struct Timed {
     peak_event_buffer_bytes: u64,
     serial_setup_share: f64,
     position_seconds: f64,
+    snapshot_bytes: u64,
+    restore_seconds: f64,
+    warmed_instructions: u64,
 }
 
 fn best_of<F: FnMut() -> Timed>(mut f: F) -> Timed {
@@ -200,25 +224,25 @@ fn best_of<F: FnMut() -> Timed>(mut f: F) -> Timed {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when a sharded entry's serial setup
-/// share exceeds [`SETUP_SHARE_LIMIT`], or when a baseline comparison
-/// detects a regression beyond [`REGRESSION_TOLERANCE`] (I/O problems
-/// with the baseline file are also reported as errors).
+/// Returns a human-readable message when a sharded entry's accuracy is
+/// not bit-exactly equal to its serial counterpart ([`check_exactness`]),
+/// when a sharded entry's serial setup share exceeds
+/// [`SETUP_SHARE_LIMIT`], or when a baseline comparison detects a
+/// regression beyond [`REGRESSION_TOLERANCE`] (I/O problems with the
+/// baseline file are also reported as errors).
 pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(), String> {
-    // Serial runs pay `warmup + measure` simulated instructions; the
-    // sharded runs pay `SHARDS * carry_in + measure`, streaming each
-    // shard window from a ladder-positioned generator. The 4:1
-    // warm-up:measure shape mirrors how the paper's methodology is
-    // dominated by warm-up (50 M warmed instructions per 50 M measured,
-    // per budget point). The carry-in is the speed/accuracy knob of the
-    // sharded mode: the loop suites converge within a few thousand
-    // instructions, and the residual warm-up deficit on this
-    // large-footprint workload is visible (deliberately) in the recorded
-    // sharded `btb_mpki`.
-    let (mut warmup, mut measure, mut carry_in) = if smoke {
-        (400_000u64, 100_000u64, 10_000u64)
+    // Serial runs pay `warmup + measure` simulated instructions. A cold
+    // checkpoint-sharded run pays the same window once (pipelined across
+    // shards while snapshots hand forward); a ladder-warm repetition
+    // restores every boundary and pays only `measure`, fully parallel.
+    // The 4:1 warm-up:measure shape mirrors how the paper's methodology
+    // is dominated by warm-up (50 M warmed instructions per 50 M
+    // measured, per budget point) — which is exactly what warm
+    // restoration amortizes away.
+    let (mut warmup, mut measure) = if smoke {
+        (400_000u64, 100_000u64)
     } else {
-        (2_000_000, 500_000, 40_000)
+        (2_000_000, 500_000)
     };
     let workload = match &opts.trace {
         Some(path) => WorkloadSpec::from_container(path)
@@ -240,7 +264,6 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         if warmup + measure > total {
             warmup = total * 4 / 5;
             measure = total - warmup;
-            carry_in = carry_in.min(warmup.max(1));
             eprintln!(
                 "[bench] trace holds {total} instructions; windows scaled to \
                  {warmup} warm-up / {measure} measured"
@@ -267,10 +290,11 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
 
     let container_read = measure_container_read(opts, &workload, &proto, warmup + measure)?;
 
-    // The checkpoint ladder shared by every sharded entry: positions
-    // reached by any repetition are restored, not re-derived — the
-    // steady state of a real multi-point sweep over one trace.
-    let ladder: AnyLadder = AnyLadder::new();
+    // Warm snapshots persist under the same cache root as results, and
+    // are version-stamped the same way, so a bench re-run on a warm
+    // checkout restores instead of re-simulating the warm-up.
+    let warm_cache = WarmCache::open(opts.out_dir.join("cache").join("warm"))
+        .map_err(|e| format!("opening warm cache: {e}"))?;
 
     let mut entries: Vec<BenchEntry> = Vec::new();
     for org in OrgKind::PAPER_EVAL {
@@ -322,7 +346,19 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         });
         push_entry(&mut entries, org, "serial-dyn", dyn_serial);
 
-        eprintln!("[bench] {}: sharded ×{SHARDS}…", org.id());
+        eprintln!("[bench] {}: sharded ×{SHARDS} (checkpoint mode)…", org.id());
+        // One warm ladder per org (snapshots embed the BTB), shared
+        // across repetitions and persisted across bench invocations: the
+        // first repetition warms it (cold, pipelined) unless the warm
+        // cache already holds this identity; the rest restore.
+        let warm: AnyWarmLadder = AnyWarmLadder::new();
+        let identity = warm_identity(proto.source_name(), &spec, warmup, &config);
+        let preloaded = warm_cache
+            .load(&identity, &proto, &warm)
+            .map_err(|e| format!("loading warm cache: {e}"))?;
+        if preloaded > 0 {
+            eprintln!("[bench] {}: {preloaded} warm rungs from cache", org.id());
+        }
         let proto = proto.clone();
         let sharded = best_of(|| {
             let proto = proto.clone();
@@ -333,8 +369,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
                 .warmup(warmup)
                 .measure(measure)
                 .shards(SHARDS)
-                .carry_in(carry_in)
-                .ladder(&ladder)
+                .warm_ladder(&warm)
                 .run()
                 .expect("paper spec is valid");
             let seconds = start.elapsed().as_secs_f64();
@@ -345,9 +380,15 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
                 peak_event_buffer_bytes: out.telemetry.peak_event_buffer_bytes,
                 serial_setup_share: out.telemetry.serial_setup_seconds / seconds.max(1e-9),
                 position_seconds: out.telemetry.position_seconds,
+                snapshot_bytes: out.telemetry.snapshot_bytes,
+                restore_seconds: out.telemetry.restore_seconds,
+                warmed_instructions: out.telemetry.warmed_instructions,
             }
         });
         push_entry(&mut entries, org, "sharded", sharded);
+        if let Err(e) = warm_cache.store(&warm) {
+            eprintln!("[bench] {}: warm cache write failed ({e})", org.id());
+        }
     }
 
     let rate = |org: OrgKind, mode: &str| {
@@ -382,13 +423,13 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
     };
 
     let report = BenchReport {
-        schema: "btbx-bench-sim/3".to_string(),
+        schema: "btbx-bench-sim/4".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workload: workload.name.clone(),
         windows: BenchWindows {
             warmup,
             measure,
-            carry_in,
+            carry_in: 0,
             shards: SHARDS,
         },
         generation,
@@ -439,6 +480,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
     let path = write_artifact(&opts.out_dir, "BENCH_sim.json", &json);
     println!("wrote {}", path.display());
 
+    check_exactness(&report)?;
     check_setup_share(&report)?;
     if let Some(base_path) = baseline {
         check_baseline(&report, base_path)?;
@@ -511,7 +553,42 @@ fn push_entry(entries: &mut Vec<BenchEntry>, org: OrgKind, mode: &str, t: Timed)
         peak_event_buffer_bytes: t.peak_event_buffer_bytes,
         serial_setup_share: t.serial_setup_share,
         position_seconds: t.position_seconds,
+        snapshot_bytes: t.snapshot_bytes,
+        restore_seconds: t.restore_seconds,
+        warmed_instructions: t.warmed_instructions,
     });
+}
+
+/// Fail when a sharded entry's accuracy diverges from its org's serial
+/// entry — warm-checkpoint sharding is bit-exact, so `btb_mpki` and the
+/// measured instruction count must match **exactly** (no tolerance).
+/// This is the CI gate that keeps the historical sharded-accuracy gap
+/// (bounded carry-in under-warming the BTB) from reopening.
+fn check_exactness(report: &BenchReport) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for sharded in report.entries.iter().filter(|e| e.mode == "sharded") {
+        let Some(serial) = report
+            .entries
+            .iter()
+            .find(|e| e.org == sharded.org && e.mode == "serial")
+        else {
+            continue;
+        };
+        if sharded.events != serial.events || sharded.btb_mpki != serial.btb_mpki {
+            failures.push(format!(
+                "{}: sharded ({} events, {} MPKI) != serial ({} events, {} MPKI)",
+                sharded.org, sharded.events, sharded.btb_mpki, serial.events, serial.btb_mpki
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "sharded runs are no longer bit-exact:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
 }
 
 /// Fail when a sharded entry spent more than [`SETUP_SHARE_LIMIT`] of its
@@ -626,12 +703,15 @@ mod tests {
             peak_event_buffer_bytes: EVENT_BLOCK_BYTES,
             serial_setup_share: 0.0,
             position_seconds: 0.0,
+            snapshot_bytes: 0,
+            restore_seconds: 0.0,
+            warmed_instructions: 0,
         }
     }
 
     fn report_with(entries: Vec<BenchEntry>) -> BenchReport {
         BenchReport {
-            schema: "btbx-bench-sim/3".into(),
+            schema: "btbx-bench-sim/4".into(),
             mode: "smoke".into(),
             workload: "w".into(),
             windows: BenchWindows {
@@ -679,6 +759,32 @@ mod tests {
         assert_eq!(back.entries[0].peak_event_buffer_bytes, 0);
         assert_eq!(back.entries[0].serial_setup_share, 0.0);
         assert_eq!(back.generation.instructions, 0);
+    }
+
+    #[test]
+    fn exactness_gate_requires_bit_equal_sharded_accuracy() {
+        let mut ok = report_with(vec![
+            entry("conv", "serial", 1.0),
+            entry("conv", "sharded", 4.0),
+        ]);
+        ok.entries[0].btb_mpki = 3.125;
+        ok.entries[1].btb_mpki = 3.125;
+        assert!(check_exactness(&ok).is_ok());
+
+        // Any divergence — even in the last bit — fails the bench.
+        let mut bad = ok.clone();
+        bad.entries[1].btb_mpki = 3.125 + f64::EPSILON * 4.0;
+        let err = check_exactness(&bad).unwrap_err();
+        assert!(err.contains("conv"), "{err}");
+
+        let mut events_off = ok.clone();
+        events_off.entries[1].events += 1;
+        assert!(check_exactness(&events_off).is_err());
+
+        // A sharded entry without a serial sibling is skipped, and
+        // serial-dyn entries never participate.
+        let orphan = report_with(vec![entry("pdede", "sharded", 1.0)]);
+        assert!(check_exactness(&orphan).is_ok());
     }
 
     #[test]

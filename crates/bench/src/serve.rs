@@ -15,10 +15,10 @@
 //! * **Durability.** Results are written atomically (temp file + rename)
 //!   so a killed server never leaves an entry that a later reader parses
 //!   as valid; damaged entries are quarantined, not served.
-//! * **Positioning reuse.** Sharded runs of a workload share one
-//!   [`AnyLadder`] across requests, so repeat shard positioning is
-//!   O(state) instead of a cold skip — the steady state for an
-//!   experiment matrix served point by point.
+//! * **Warm-state reuse.** Sharded runs of a point share one
+//!   [`AnyWarmLadder`] across requests, so repeat runs restore warmed
+//!   microarchitectural state at every shard boundary in O(state) —
+//!   no warm-up replay — and are bit-identical to serial runs.
 //!
 //! # Protocol
 //!
@@ -41,7 +41,7 @@ use crate::opts::{pool_split, HarnessOpts};
 use crate::runner::ServicePool;
 use crate::store::{Fetch, ResultStore, StoreCounters, StoreError};
 use crate::sweep::{SimPoint, Sweep};
-use btbx_uarch::{AnyLadder, SimResult};
+use btbx_uarch::{AnyWarmLadder, SimResult};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -69,8 +69,9 @@ pub struct ServeConfig {
     /// Total thread budget, split between concurrent requests and
     /// intra-request shard fan-out by [`pool_split`].
     pub threads: usize,
-    /// Interval shards per simulation (1 = serial, byte-identical to the
-    /// CLI serial path).
+    /// Interval shards per simulation. Any value serves results
+    /// byte-identical to the CLI serial path (warm-checkpoint mode);
+    /// more shards trade threads for per-request latency.
     pub shards: usize,
 }
 
@@ -102,9 +103,11 @@ struct ServerState {
     store: ResultStore,
     shards: usize,
     shard_threads: usize,
-    /// One checkpoint ladder per distinct workload spec (serialized
-    /// form), shared across requests so repeat positioning is O(state).
-    ladders: Mutex<HashMap<String, Arc<AnyLadder>>>,
+    /// One warm ladder per distinct simulation point (cache key), shared
+    /// across requests so repeat runs restore warmed state in O(state).
+    /// Keyed by the full point (not just the workload) because warm
+    /// snapshots embed the BTB organization, budget and configuration.
+    ladders: Mutex<HashMap<String, Arc<AnyWarmLadder>>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -119,16 +122,16 @@ impl ServerState {
         }
     }
 
-    fn ladder_for(&self, point: &SimPoint) -> Option<Arc<AnyLadder>> {
+    fn ladder_for(&self, point: &SimPoint) -> Option<Arc<AnyWarmLadder>> {
         if self.shards <= 1 {
             return None;
         }
-        let key = serde_json::to_string(&point.workload).expect("workloads serialize");
+        let key = point.cache_file();
         let mut ladders = self.ladders.lock().unwrap();
         Some(Arc::clone(
             ladders
                 .entry(key)
-                .or_insert_with(|| Arc::new(AnyLadder::new())),
+                .or_insert_with(|| Arc::new(AnyWarmLadder::new())),
         ))
     }
 }

@@ -100,8 +100,15 @@ pub struct StoreCounters {
     pub disk_hits: u64,
     /// Results obtained by waiting on another caller's flight.
     pub joins: u64,
-    /// Damaged entries quarantined to `*.corrupt`.
+    /// Damaged entries quarantined to `*.corrupt`. Counts *successful*
+    /// quarantine renames, one per event — an entry that is damaged
+    /// again after a clean rewrite counts again, and a failed rename
+    /// (the damage stays in place) does not count at all.
     pub quarantined: u64,
+    /// Computed results that could not be persisted (the caller still
+    /// received the in-memory result; see [`ResultStore::get_or_compute`]).
+    #[serde(default)]
+    pub store_failures: u64,
 }
 
 enum FlightState {
@@ -126,6 +133,7 @@ struct Shared {
     disk_hits: AtomicU64,
     joins: AtomicU64,
     quarantined: AtomicU64,
+    store_failures: AtomicU64,
     logged: Mutex<HashSet<PathBuf>>,
 }
 
@@ -137,6 +145,7 @@ impl Shared {
             disk_hits: AtomicU64::new(0),
             joins: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
             logged: Mutex::new(HashSet::new()),
         }
     }
@@ -178,6 +187,11 @@ impl ResultStore {
             source,
         })?;
         let mut reg = registry().lock().unwrap();
+        // The registry holds weak references, so entries for dropped
+        // stores linger as dead weaks; prune them here or the map grows
+        // by one entry per distinct directory for the process lifetime
+        // (real for long-lived servers cycling per-request temp dirs).
+        reg.retain(|_, shared| shared.strong_count() > 0);
         let shared = match reg.get(&canonical).and_then(Weak::upgrade) {
             Some(shared) => shared,
             None => {
@@ -205,6 +219,7 @@ impl ResultStore {
             disk_hits: self.shared.disk_hits.load(Ordering::Relaxed),
             joins: self.shared.joins.load(Ordering::Relaxed),
             quarantined: self.shared.quarantined.load(Ordering::Relaxed),
+            store_failures: self.shared.store_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -268,6 +283,13 @@ impl ResultStore {
         quarantine.push(".corrupt");
         let quarantine = PathBuf::from(quarantine);
         let renamed = fs::rename(path, &quarantine);
+        // Count per successful rename, not per first-log: a rename that
+        // failed quarantined nothing, and an entry damaged again after a
+        // clean rewrite is a new quarantine event even though its path
+        // was already logged.
+        if renamed.is_ok() {
+            self.shared.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
         if self
             .shared
             .logged
@@ -275,7 +297,6 @@ impl ResultStore {
             .unwrap()
             .insert(path.to_path_buf())
         {
-            self.shared.quarantined.fetch_add(1, Ordering::Relaxed);
             match renamed {
                 Ok(()) => eprintln!(
                     "[store] damaged cache entry {} ({why}); quarantined to {}",
@@ -336,7 +357,12 @@ impl ResultStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError`] on cache I/O failures.
+    /// [`StoreError`] on cache *read* failures (a damaged directory must
+    /// not masquerade as a miss). A *write-back* failure after a
+    /// successful computation is not an error: the leader and any
+    /// joiners all receive the computed result (joiners already observe
+    /// `Done` and cannot be retroactively failed), the incident is
+    /// logged, and [`StoreCounters::store_failures`] increments.
     ///
     /// # Panics
     ///
@@ -416,9 +442,20 @@ impl ResultStore {
         let outcome = catch_unwind(AssertUnwindSafe(compute));
         match outcome {
             Ok(result) => {
-                let stored = self.store(name, &result);
+                // The computation succeeded, so the leader and every
+                // joiner must agree on the outcome: joiners see
+                // `Ok(Done)`, so a write-back failure cannot turn the
+                // leader's answer into `Err` — the result is valid, only
+                // its persistence failed. Log it, count it, and serve
+                // the in-memory result; the next cold run recomputes.
+                if let Err(e) = self.store(name, &result) {
+                    self.shared.store_failures.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[store] computed {name} but could not persist it ({e}); \
+                         serving the in-memory result"
+                    );
+                }
                 settle(FlightState::Done(Box::new(result.clone())));
-                stored?;
                 Ok((result, Fetch::Computed))
             }
             Err(payload) => {
@@ -591,6 +628,81 @@ mod tests {
             2,
             "fresh result must be written back"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_prunes_entries_for_dropped_stores() {
+        let dir_a = fresh_dir("prune-a");
+        let dir_b = fresh_dir("prune-b");
+        let store_a = ResultStore::open(&dir_a).unwrap();
+        let canonical_a = store_a.dir().to_path_buf();
+        drop(store_a);
+        // The next open prunes dead weak entries, so the dropped store's
+        // directory no longer occupies a registry slot.
+        let _store_b = ResultStore::open(&dir_b).unwrap();
+        assert!(
+            !registry().lock().unwrap().contains_key(&canonical_a),
+            "registry must not accumulate dead entries"
+        );
+        // Reopening still works and gets fresh shared state.
+        let reopened = ResultStore::open(&dir_a).unwrap();
+        assert_eq!(reopened.counters().computes, 0);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn failed_quarantine_is_not_counted_but_a_repeat_damage_is() {
+        let dir = fresh_dir("quarantine-count");
+        let store = ResultStore::open(&dir).unwrap();
+        // Block the quarantine path with a directory: rename(2) cannot
+        // move a file onto a directory, so the quarantine fails and the
+        // damaged entry stays in place.
+        fs::create_dir_all(dir.join("a.json.corrupt")).unwrap();
+        fs::write(dir.join("a.json"), "not json").unwrap();
+        assert!(store.load("a.json").unwrap().is_none());
+        assert_eq!(
+            store.counters().quarantined,
+            0,
+            "a failed rename quarantined nothing"
+        );
+        assert!(dir.join("a.json").exists(), "the damage must stay put");
+        // Unblock and damage the entry twice more: each successful
+        // quarantine counts, even though the path was already logged.
+        fs::remove_dir_all(dir.join("a.json.corrupt")).unwrap();
+        assert!(store.load("a.json").unwrap().is_none());
+        assert_eq!(store.counters().quarantined, 1);
+        fs::write(dir.join("a.json"), "damaged again").unwrap();
+        assert!(store.load("a.json").unwrap().is_none());
+        assert_eq!(
+            store.counters().quarantined,
+            2,
+            "re-damage after a quarantine is a new event"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_failure_after_compute_still_serves_the_result() {
+        let dir = fresh_dir("storefail");
+        let store = ResultStore::open(&dir).unwrap();
+        // A directory squatting on the entry path makes the publishing
+        // rename fail after the computation succeeds.
+        fs::create_dir_all(dir.join("k.json")).unwrap();
+        let (r, fetch) = store
+            .get_or_compute("k.json", true, || result("w", 11))
+            .unwrap();
+        assert_eq!(fetch, Fetch::Computed);
+        assert_eq!(r.stats.cycles, 11, "the computed result must be served");
+        assert_eq!(store.counters().store_failures, 1);
+        // The key is not wedged for later callers either.
+        let (r2, fetch2) = store
+            .get_or_compute("k.json", true, || result("w", 12))
+            .unwrap();
+        assert_eq!(fetch2, Fetch::Computed);
+        assert_eq!(r2.stats.cycles, 12);
+        assert_eq!(store.counters().store_failures, 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

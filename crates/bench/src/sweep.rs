@@ -45,7 +45,7 @@ use crate::store::ResultStore;
 use btbx_core::spec::{BtbSpec, Budget};
 use btbx_core::OrgKind;
 use btbx_trace::suite::WorkloadSpec;
-use btbx_uarch::{AnyLadder, ParallelSession, SimConfig, SimResult, SimSession};
+use btbx_uarch::{AnyWarmLadder, ParallelSession, SimConfig, SimResult, SimSession};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -56,7 +56,13 @@ use std::path::PathBuf;
 /// serialized form of every point (`"trace":null` on synthetic ones) —
 /// the bump makes the resulting whole-cache invalidation explicit
 /// rather than an accident of the hash payload.
-pub const CACHE_VERSION: u32 = 2;
+///
+/// v3: sharded runs switched from bounded-carry-in approximation to
+/// warm-checkpoint mode and became bit-identical to serial runs, so
+/// sharded and serial results now share one cache entry per point
+/// (the `-s{shards}` segregation is gone). Old caches mixed exact
+/// serial entries with approximate sharded ones; the bump orphans both.
+pub const CACHE_VERSION: u32 = 3;
 
 /// One cell of a sweep: everything that determines one simulation result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,23 +147,24 @@ impl SimPoint {
     }
 
     /// Run the simulation for this point split into `shards` interval
-    /// shards with the default (full-warm-up) carry-in; `shards <= 1`
-    /// falls back to the serial [`run`](SimPoint::run). See
-    /// EXPERIMENTS.md, "Interval sharding", for when sharded results are
-    /// identical to serial ones.
+    /// shards in warm-checkpoint mode ([`ParallelSession::checkpoints`]):
+    /// the result is **bit-identical** to the serial [`run`]
+    /// (SimPoint::run) for any workload. `shards <= 1` falls back to the
+    /// serial path. See EXPERIMENTS.md, "Interval sharding".
     pub fn run_sharded(&self, shards: usize, threads: usize) -> SimResult {
         self.run_sharded_with(shards, threads, None)
     }
 
     /// [`run_sharded`](SimPoint::run_sharded) with an optional shared
-    /// [`AnyLadder`]: a ladder reused across runs of the same workload
-    /// (e.g. by `btbx serve` across requests) makes repeat shard
-    /// positioning O(state) instead of a cold skip.
+    /// [`AnyWarmLadder`]: a warm ladder reused across runs of the same
+    /// point (e.g. by `btbx serve` across requests) restores warmed
+    /// microarchitectural state at every shard boundary in O(state), so
+    /// re-runs skip the warm-up prefix entirely and parallelize fully.
     pub fn run_sharded_with(
         &self,
         shards: usize,
         threads: usize,
-        ladder: Option<&AnyLadder>,
+        warm: Option<&AnyWarmLadder>,
     ) -> SimResult {
         if shards <= 1 {
             return self.run();
@@ -173,9 +180,10 @@ impl SimPoint {
             .warmup(self.warmup)
             .measure(self.measure)
             .shards(shards)
-            .threads(threads);
-        if let Some(ladder) = ladder {
-            session = session.ladder(ladder);
+            .threads(threads)
+            .checkpoints(true);
+        if let Some(warm) = warm {
+            session = session.warm_ladder(warm);
         }
         session
             .run()
@@ -183,20 +191,12 @@ impl SimPoint {
             .result
     }
 
-    /// Cache file name for a run at the given shard count. Serial results
-    /// keep the historical name; sharded results are segregated because
-    /// they are not guaranteed byte-identical to serial ones.
-    pub fn cache_file_for(&self, shards: usize) -> String {
-        if shards <= 1 {
-            self.cache_file()
-        } else {
-            format!(
-                "{}-{}-{}-s{shards}.json",
-                self.workload.name,
-                self.org.id(),
-                self.cache_key()
-            )
-        }
+    /// Cache file name for a run at the given shard count. Since
+    /// checkpoint mode (cache v3) sharded results are bit-identical to
+    /// serial ones, so every shard count shares the serial entry; the
+    /// parameter remains so callers keep a single call site.
+    pub fn cache_file_for(&self, _shards: usize) -> String {
+        self.cache_file()
     }
 }
 
@@ -336,10 +336,12 @@ impl Sweep {
     /// Results come back in [`Sweep::points`] order.
     ///
     /// With `opts.shards > 1` each simulation replays as that many
-    /// interval shards ([`SimPoint::run_sharded`]); sharded results cache
-    /// under shard-tagged file names so they never alias serial ones. The
-    /// thread budget splits between concurrent points and intra-point
-    /// shard fan-out by [`HarnessOpts::pool_split`].
+    /// interval shards in warm-checkpoint mode
+    /// ([`SimPoint::run_sharded`]); since checkpoint-mode results are
+    /// bit-identical to serial ones they share the serial cache entries,
+    /// so any mix of shard counts serves from one cache. The thread
+    /// budget splits between concurrent points and intra-point shard
+    /// fan-out by [`HarnessOpts::pool_split`].
     ///
     /// # Panics
     ///
@@ -629,6 +631,42 @@ mod tests {
         assert!(r3[0].stats.instructions >= 4_000, "sharded file-backed run");
         let _ = fs::remove_dir_all(&opts.out_dir);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_points_are_bit_identical_to_serial_and_share_the_cache() {
+        let mut opts = tiny_opts("btbx-sweep-exact");
+        let _ = fs::remove_dir_all(&opts.out_dir);
+        let sweep = tiny_sweep(3_000, 9_000);
+        let serial = sweep.run(&opts);
+
+        // The sharded run must hit the serial run's cache entry — only
+        // possible because checkpoint mode is exact — and a fresh
+        // sharded computation must reproduce the serial result
+        // bit-for-bit.
+        opts.shards = 3;
+        let shared = sweep.run(&opts);
+        assert_eq!(shared[0], serial[0], "cache entry shared across modes");
+        let cache_files = fs::read_dir(opts.out_dir.join("cache"))
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    == Some("json")
+            })
+            .count();
+        assert_eq!(cache_files, 1, "no shard-tagged duplicate entries");
+
+        opts.fresh = true;
+        let recomputed = sweep.run(&opts);
+        assert_eq!(
+            recomputed[0], serial[0],
+            "checkpoint-sharded computation must be bit-identical to serial"
+        );
+        let _ = fs::remove_dir_all(&opts.out_dir);
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Durable warm-snapshot cache: persists a [`AnyWarmLadder`]'s rungs to
+//! disk so a later *process* restores warmed microarchitectural state in
+//! O(state) instead of re-simulating the warm-up prefix.
+//!
+//! One cache file holds one simulation identity
+//! ([`btbx_uarch::warm_identity`]): workload, organization, budget,
+//! warm-up window and simulator configuration. Files live under
+//! `<out>/cache/warm/`, named by the FNV-1a hash of the identity folded
+//! with [`crate::sweep::CACHE_VERSION`] — bumping the version orphans
+//! stale snapshots exactly as it orphans stale results.
+//!
+//! The payload is wrapped in the same sealed envelope as the snapshots
+//! themselves ([`btbx_core::snap::seal`]), so a load validates codec
+//! version, identity, and content hash before any entry is trusted; a
+//! file that fails any check is quarantined to `<file>.corrupt` and
+//! treated as absent. Trace checkpoints are *not* serialized — each
+//! entry records its stream position and the loader re-derives the
+//! checkpoint from a fresh source via `seek` (O(state) for every source
+//! kind).
+//!
+//! Writes are atomic (temp file + rename), mirroring
+//! [`crate::store::ResultStore`].
+
+use crate::store::StoreError;
+use crate::sweep::CACHE_VERSION;
+use btbx_core::snap::{fnv64, seal, unseal, SnapError, SnapReader, SnapWriter};
+use btbx_trace::source::SeekableSource;
+use btbx_trace::AnySource;
+use btbx_uarch::{AnyWarmLadder, WarmEntry};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bump when the warm-file payload layout changes (the sealed envelope
+/// already guards codec and content; this guards the field order below).
+const WARM_FILE_VERSION: u32 = 1;
+
+/// A directory of persisted warm ladders, one file per simulation
+/// identity. See the module docs for format and guarantees.
+pub struct WarmCache {
+    dir: PathBuf,
+}
+
+impl WarmCache {
+    /// Open (creating if needed) the warm cache under `dir` —
+    /// conventionally `<out>/cache/warm`, next to the result store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            action: "creating warm cache dir",
+            path: dir.clone(),
+            source,
+        })?;
+        Ok(WarmCache { dir })
+    }
+
+    /// The file a given identity persists to.
+    pub fn file_for(&self, identity: &str) -> PathBuf {
+        let hash = fnv64(identity.as_bytes()) ^ (CACHE_VERSION as u64).wrapping_mul(0x9e37_79b9);
+        self.dir.join(format!("warm-{hash:016x}.snap"))
+    }
+
+    /// Populate `ladder` from the persisted file for `identity`, if one
+    /// exists and validates. Trace checkpoints are re-derived by seeking
+    /// a clone of `proto` to each entry's recorded position; entries
+    /// beyond the end of the (possibly shorter) stream are skipped.
+    ///
+    /// Returns the number of rungs published. A missing file is `Ok(0)`;
+    /// a damaged file is quarantined to `<file>.corrupt` and reported as
+    /// `Ok(0)` — reads never fail a run, they only cost a re-warm.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for read failures other than `NotFound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ladder` is already bound to a *different* identity
+    /// (the same misuse [`AnyWarmLadder::bind`] rejects).
+    pub fn load(
+        &self,
+        identity: &str,
+        proto: &AnySource,
+        ladder: &AnyWarmLadder,
+    ) -> Result<usize, StoreError> {
+        let path = self.file_for(identity);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(source) => {
+                return Err(StoreError::Io {
+                    action: "reading warm cache file",
+                    path,
+                    source,
+                })
+            }
+        };
+        let entries = match parse(&bytes, identity) {
+            Ok(entries) => entries,
+            Err(why) => {
+                quarantine(&path, &why);
+                return Ok(0);
+            }
+        };
+        ladder.bind(identity);
+        let mut published = 0;
+        for (key, base, committed, position, snapshot) in entries {
+            let mut source = proto.clone();
+            if source.seek(position) != position {
+                // The stream is shorter than the snapshot's position —
+                // a different (truncated) trace file, or a synthetic
+                // workload re-parameterized without an identity change.
+                // Skip: a missing rung only costs a pipelined hand-off.
+                continue;
+            }
+            ladder.publish(
+                key,
+                WarmEntry {
+                    checkpoint: source.checkpoint(),
+                    snapshot: Arc::new(snapshot),
+                    base,
+                    committed,
+                    position,
+                },
+            );
+            published += 1;
+        }
+        Ok(published)
+    }
+
+    /// Persist every rung of `ladder` to its identity's file (atomic
+    /// replace). An unbound or empty ladder is a no-op returning 0.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the temp write or rename fails.
+    pub fn store(&self, ladder: &AnyWarmLadder) -> Result<usize, StoreError> {
+        let Some(identity) = ladder.identity() else {
+            return Ok(0);
+        };
+        let entries = ladder.entries();
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut w = SnapWriter::new();
+        w.u32(WARM_FILE_VERSION);
+        w.u64(entries.len() as u64);
+        for (key, e) in &entries {
+            w.u64(*key);
+            w.u64(e.base);
+            w.u64(e.committed);
+            w.u64(e.position);
+            w.bytes(&e.snapshot);
+        }
+        let sealed = seal(&identity, &w.into_vec());
+
+        let path = self.file_for(&identity);
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "warm.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, sealed).map_err(|source| StoreError::Io {
+            action: "writing warm cache temp file",
+            path: tmp.clone(),
+            source,
+        })?;
+        fs::rename(&tmp, &path).map_err(|source| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io {
+                action: "publishing warm cache file",
+                path,
+                source,
+            }
+        })?;
+        Ok(entries.len())
+    }
+}
+
+type RawEntry = (u64, u64, u64, u64, Vec<u8>);
+
+fn parse(bytes: &[u8], identity: &str) -> Result<Vec<RawEntry>, SnapError> {
+    let payload = unseal(bytes, identity)?;
+    let mut r = SnapReader::new(payload);
+    let version = r.u32()?;
+    if version != WARM_FILE_VERSION {
+        return Err(SnapError::VersionMismatch {
+            expected: WARM_FILE_VERSION,
+            found: version,
+        });
+    }
+    let count = r.u64()? as usize;
+    // Entry payloads dominate; 40 bytes is the fixed part, so any
+    // plausible count fits in what remains.
+    if count > r.remaining() {
+        return Err(SnapError::Corrupt("warm cache entry count"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = r.u64()?;
+        let base = r.u64()?;
+        let committed = r.u64()?;
+        let position = r.u64()?;
+        let snapshot = r.bytes()?.to_vec();
+        entries.push((key, base, committed, position, snapshot));
+    }
+    r.done()?;
+    Ok(entries)
+}
+
+fn quarantine(path: &Path, why: &SnapError) {
+    let mut corrupt = path.as_os_str().to_owned();
+    corrupt.push(".corrupt");
+    match fs::rename(path, PathBuf::from(corrupt)) {
+        Ok(()) => eprintln!(
+            "[warm] damaged warm cache file {} ({why:?}); quarantined",
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "[warm] damaged warm cache file {} ({why:?}); quarantine failed: {e}",
+            path.display()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btbx_core::spec::BtbSpec;
+    use btbx_core::storage::BudgetPoint;
+    use btbx_core::OrgKind;
+    use btbx_trace::suite;
+    use btbx_uarch::{warm_identity, ParallelSession, SimConfig};
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("btbx-warm-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn proto() -> AnySource {
+        suite::ipc1_client()
+            .into_iter()
+            .next()
+            .unwrap()
+            .build_source()
+            .unwrap()
+    }
+
+    fn run(warm: &AnyWarmLadder) -> btbx_uarch::ParallelOutcome {
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb0_9);
+        let proto = proto();
+        ParallelSession::new(move || proto.clone(), spec)
+            .config(SimConfig::without_fdip())
+            .warmup(4_000)
+            .measure(12_000)
+            .shards(3)
+            .warm_ladder(warm)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn persisted_ladder_restores_across_ladders_bit_exactly() {
+        let dir = fresh_dir("roundtrip");
+        let cache = WarmCache::open(&dir).unwrap();
+
+        let first = AnyWarmLadder::new();
+        let cold = run(&first);
+        assert!(cold.telemetry.warmed_instructions > 0);
+        let stored = cache.store(&first).unwrap();
+        assert_eq!(stored, first.len());
+
+        // A fresh ladder (fresh process, in effect) loads the file and
+        // the rerun restores every boundary: no warm-up is simulated and
+        // the result is bit-identical.
+        let second = AnyWarmLadder::new();
+        let identity = first.identity().unwrap();
+        let loaded = cache.load(&identity, &proto(), &second).unwrap();
+        assert_eq!(loaded, stored);
+        let warm = run(&second);
+        assert_eq!(warm.telemetry.warmed_instructions, 0);
+        assert_eq!(warm.result.stats, cold.result.stats);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_loads_nothing() {
+        let dir = fresh_dir("missing");
+        let cache = WarmCache::open(&dir).unwrap();
+        let ladder = AnyWarmLadder::new();
+        let n = cache.load("no-such-identity", &proto(), &ladder).unwrap();
+        assert_eq!(n, 0);
+        assert!(ladder.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_file_is_quarantined_and_ignored() {
+        let dir = fresh_dir("damaged");
+        let cache = WarmCache::open(&dir).unwrap();
+        let ladder = AnyWarmLadder::new();
+        run(&ladder);
+        cache.store(&ladder).unwrap();
+        let identity = ladder.identity().unwrap();
+        let path = cache.file_for(&identity);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        let fresh = AnyWarmLadder::new();
+        let n = cache.load(&identity, &proto(), &fresh).unwrap();
+        assert_eq!(n, 0, "a damaged file must not publish rungs");
+        assert!(fresh.is_empty());
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        assert!(
+            PathBuf::from(corrupt).exists(),
+            "damage must be quarantined"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_identity_is_rejected_at_the_envelope() {
+        let dir = fresh_dir("foreign");
+        let cache = WarmCache::open(&dir).unwrap();
+        let ladder = AnyWarmLadder::new();
+        run(&ladder);
+        cache.store(&ladder).unwrap();
+        let identity = ladder.identity().unwrap();
+        // Same bytes under the file name of a different identity: the
+        // sealed envelope's key check rejects them.
+        let other = warm_identity(
+            "other-source",
+            &BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb0_9),
+            4_000,
+            &SimConfig::without_fdip(),
+        );
+        fs::copy(cache.file_for(&identity), cache.file_for(&other)).unwrap();
+        let fresh = AnyWarmLadder::new();
+        let n = cache.load(&other, &proto(), &fresh).unwrap();
+        assert_eq!(n, 0);
+        assert!(fresh.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbound_or_empty_ladder_stores_nothing() {
+        let dir = fresh_dir("empty");
+        let cache = WarmCache::open(&dir).unwrap();
+        let ladder = AnyWarmLadder::new();
+        assert_eq!(cache.store(&ladder).unwrap(), 0);
+        ladder.bind("bound-but-empty");
+        assert_eq!(cache.store(&ladder).unwrap(), 0);
+        assert!(fs::read_dir(&dir).unwrap().next().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -69,6 +69,7 @@ pub mod offset;
 pub mod pdede;
 pub mod rbtb;
 pub mod replacement;
+pub mod snap;
 pub mod spec;
 pub mod stats;
 pub mod storage;
@@ -85,6 +86,7 @@ pub use hooger::MixedBtb;
 pub use infinite::InfiniteBtb;
 pub use pdede::PdedeBtb;
 pub use rbtb::RBtb;
+pub use snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 pub use spec::{BtbSpec, Budget, SpecError};
 pub use stats::{AccessCounts, StorageReport};
 pub use types::{Arch, BranchClass, BranchEvent, BtbBranchType, TargetSource};

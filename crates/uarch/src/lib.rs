@@ -56,7 +56,8 @@ pub mod stats;
 
 pub use config::SimConfig;
 pub use parallel::{
-    AnyLadder, CheckpointLadder, ParallelOutcome, ParallelSession, ParallelTelemetry,
+    warm_identity, AnyLadder, AnyWarmLadder, CheckpointLadder, ParallelOutcome, ParallelSession,
+    ParallelTelemetry, WarmEntry, WarmLadder,
 };
 pub use session::{IntervalStats, SessionError, SimSession};
 pub use sim::{simulate, Simulator};

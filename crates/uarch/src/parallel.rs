@@ -64,20 +64,39 @@
 //!   the trace, but state at a chunk boundary reflects `C` instructions of
 //!   history instead of the full prefix, perturbing boundary-local counts.
 //!
+//! # Checkpoint mode: exact sharding at any carry-in
+//!
+//! [`ParallelSession::checkpoints`] closes the "approximately" case. In
+//! checkpoint mode shards exchange **warm microarchitectural snapshots**
+//! through a [`WarmLadder`]: shard 0 warms from position 0 exactly as a
+//! serial run would, and every shard, on reaching the next chunk
+//! boundary, serializes its complete state (BTB, direction predictor,
+//! RAS, caches, MSHRs, FTQ, ROB, FDIP and all in-flight bookkeeping — see
+//! [`btbx_core::snap`]) and publishes it together with a trace checkpoint.
+//! The next shard restores that pair in O(state) and continues on the
+//! *identical* serial trajectory, so the merged counters are
+//! **bit-identical to the serial run for any workload and any carry-in**
+//! (the carry-in setting is simply ignored: no prefix is replayed at
+//! all). A cold run pipelines shards hand-to-hand; re-runs through a
+//! shared warm ladder (a repeated bench, a sweep repetition) restore
+//! every boundary immediately and execute fully in parallel.
+//!
 //! See EXPERIMENTS.md ("Interval sharding") for the user-facing contract.
 
+use crate::bpu::Bpu;
 use crate::runner::run_named_jobs;
 use crate::session::{IntervalStats, SessionError, SimSession};
-use crate::sim::EVENT_BLOCK_BYTES;
+use crate::sim::{Simulator, EVENT_BLOCK_BYTES};
 use crate::stats::SimResult;
 use crate::SimConfig;
+use btbx_core::snap::{restore_sealed, save_sealed};
 use btbx_core::spec::BtbSpec;
 use btbx_trace::packed::PackedBuf;
 use btbx_trace::record::TraceInstr;
 use btbx_trace::source::SeekableSource;
 use btbx_trace::TraceSource;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Upper bound on retained checkpoints; later publishes are dropped once
@@ -156,6 +175,191 @@ impl<C: Clone> CheckpointLadder<C> {
     /// `true` when no snapshot is held.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// The warm-ladder type for [`btbx_trace::AnySource`] streams.
+pub type AnyWarmLadder = WarmLadder<btbx_trace::AnyCheckpoint>;
+
+/// The exact-simulation identity a [`WarmLadder`] binds to and warm
+/// snapshots are sealed under: workload stream, BTB organization and
+/// budget, warm-up length, and the full simulator configuration
+/// (fingerprinted via its `Debug` form, which covers every field).
+/// Persistence layers key warm-cache files by this string.
+pub fn warm_identity(source_name: &str, spec: &BtbSpec, warmup: u64, config: &SimConfig) -> String {
+    format!(
+        "{}|{}|{}b|warm{}|{:?}",
+        source_name,
+        spec.org.id(),
+        spec.bits(),
+        warmup,
+        config
+    )
+}
+
+/// One warm-state rung: a trace checkpoint paired with a sealed
+/// microarchitectural snapshot, both taken at the same serial-trajectory
+/// moment (the first tick boundary at or past the rung's nominal
+/// instruction count).
+#[derive(Debug, Clone)]
+pub struct WarmEntry<C> {
+    /// Trace-source state at the snapshot moment (the source sits ahead
+    /// of commit by the in-flight instructions the snapshot carries).
+    pub checkpoint: C,
+    /// Sealed simulator state ([`btbx_core::snap::save_sealed`] bytes),
+    /// shared cheaply between the ladder and persistence layers.
+    pub snapshot: Arc<Vec<u8>>,
+    /// Actual committed count at the end of warm-up (`W′ ≥ warmup`,
+    /// overshooting by less than the commit width). All chunk targets are
+    /// `base + i·chunk`, so every restorer continues the same trajectory.
+    pub base: u64,
+    /// Actual committed count at the snapshot moment.
+    pub committed: u64,
+    /// Trace-source position at the snapshot moment (lets persistence
+    /// re-derive `checkpoint` from a fresh source via `seek`).
+    pub position: u64,
+}
+
+#[derive(Debug)]
+struct WarmState<C> {
+    slots: BTreeMap<u64, WarmEntry<C>>,
+    poisoned: bool,
+}
+
+/// A shared store of warm microarchitectural snapshots keyed by *nominal*
+/// instruction count (`warmup + i·chunk`), the backbone of checkpoint
+/// mode ([`ParallelSession::checkpoints`]).
+///
+/// One warm ladder serves one exact simulation identity — workload, BTB
+/// spec, warm-up length and simulator configuration. The first publisher
+/// binds the identity string; later use under a different identity panics
+/// rather than silently restoring foreign state. Entries are keyed by
+/// nominal counts so that runs with *different shard geometries* reuse
+/// each other's rungs whenever their boundaries coincide: an entry at key
+/// `K` is always "the serial state at the first tick boundary with
+/// `committed ≥ base + (K − warmup)`", independent of which run produced
+/// it.
+#[derive(Debug)]
+pub struct WarmLadder<C> {
+    identity: Mutex<Option<String>>,
+    state: Mutex<WarmState<C>>,
+    ready: Condvar,
+}
+
+impl<C: Clone> Default for WarmLadder<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: Clone> WarmLadder<C> {
+    /// An empty, unbound ladder.
+    pub fn new() -> Self {
+        WarmLadder {
+            identity: Mutex::new(None),
+            state: Mutex::new(WarmState {
+                slots: BTreeMap::new(),
+                poisoned: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Bind the ladder to a simulation identity (first caller wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when already bound to a different identity: snapshots embed
+    /// the full BTB and cache state, so cross-identity reuse would replay
+    /// the wrong microarchitecture.
+    pub fn bind(&self, identity: &str) {
+        let mut bound = self.identity.lock().unwrap();
+        match bound.as_deref() {
+            None => *bound = Some(identity.to_string()),
+            Some(prev) => assert_eq!(
+                prev, identity,
+                "warm ladder is bound to `{prev}`; refusing to reuse it for `{identity}`"
+            ),
+        }
+    }
+
+    /// The bound identity, if any (persistence keys cache files by it).
+    pub fn identity(&self) -> Option<String> {
+        self.identity.lock().unwrap().clone()
+    }
+
+    /// The entry at nominal key `key`, if already published.
+    pub fn get(&self, key: u64) -> Option<WarmEntry<C>> {
+        self.state.lock().unwrap().slots.get(&key).cloned()
+    }
+
+    /// Block until the entry at `key` is published and return it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ladder is poisoned — the producing shard died, so
+    /// waiting would hang forever.
+    pub fn wait(&self, key: u64) -> WarmEntry<C> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            assert!(
+                !state.poisoned,
+                "warm ladder poisoned: a producing shard failed before publishing key {key}"
+            );
+            if let Some(e) = state.slots.get(&key) {
+                return e.clone();
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Store the entry at `key` (first publish wins; capacity-capped) and
+    /// wake every waiter.
+    pub fn publish(&self, key: u64, entry: WarmEntry<C>) {
+        let mut state = self.state.lock().unwrap();
+        if state.slots.len() < LADDER_CAPACITY {
+            state.slots.entry(key).or_insert(entry);
+        }
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Mark the ladder unusable and wake every waiter (they panic instead
+    /// of hanging). Called by the shard-failure drop guard.
+    pub fn poison(&self) {
+        self.state.lock().unwrap().poisoned = true;
+        self.ready.notify_all();
+    }
+
+    /// All entries in key order (persistence walks these).
+    pub fn entries(&self) -> Vec<(u64, WarmEntry<C>)> {
+        let state = self.state.lock().unwrap();
+        state.slots.iter().map(|(k, e)| (*k, e.clone())).collect()
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().slots.len()
+    }
+
+    /// `true` when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Poisons the warm ladder if a shard job unwinds before disarming, so
+/// waiting shards panic promptly instead of deadlocking on the condvar.
+struct PoisonGuard<'a, C: Clone> {
+    ladder: &'a WarmLadder<C>,
+    armed: bool,
+}
+
+impl<C: Clone> Drop for PoisonGuard<'_, C> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.ladder.poison();
+        }
     }
 }
 
@@ -242,6 +446,18 @@ pub struct ParallelTelemetry {
     /// not instrumented at runtime; a reintroduced serial buffering pass
     /// shows up in `serial_setup_seconds`, which `btbx bench` gates.
     pub peak_event_buffer_bytes: u64,
+    /// Checkpoint mode: summed wall-clock the shards spent restoring warm
+    /// state (trace checkpoint + snapshot deserialization) — O(state),
+    /// never O(position).
+    pub restore_seconds: f64,
+    /// Checkpoint mode: largest sealed snapshot produced or consumed this
+    /// run, in bytes.
+    pub snapshot_bytes: u64,
+    /// Checkpoint mode: instructions *simulated* to build warm state this
+    /// run (shard 0's cold warm-up). Zero when every boundary — including
+    /// the warm-up itself — was restored from the warm ladder, the
+    /// telemetry signature of an O(state) re-run.
+    pub warmed_instructions: u64,
 }
 
 /// Outcome of a sharded run: the merged result plus the merged
@@ -277,6 +493,8 @@ pub struct ParallelSession<'l, S: SeekableSource, F> {
     interval: Option<u64>,
     threads: usize,
     ladder: Option<&'l CheckpointLadder<S::Checkpoint>>,
+    checkpoint_mode: bool,
+    warm: Option<&'l WarmLadder<S::Checkpoint>>,
 }
 
 impl<'l, S, F> ParallelSession<'l, S, F>
@@ -305,6 +523,8 @@ where
                 .map(|n| n.get())
                 .unwrap_or(1),
             ladder: None,
+            checkpoint_mode: false,
+            warm: None,
         }
     }
 
@@ -371,6 +591,27 @@ where
         self
     }
 
+    /// Run shards in checkpoint mode (see the module docs): shards hand
+    /// warm microarchitectural snapshots to each other instead of
+    /// replaying a carry-in prefix, making the sharded result
+    /// bit-identical to the serial run for any workload. The carry-in
+    /// setting is ignored in this mode.
+    pub fn checkpoints(mut self, on: bool) -> Self {
+        self.checkpoint_mode = on;
+        self
+    }
+
+    /// Reuse a [`WarmLadder`] across checkpoint-mode runs of the *same
+    /// simulation identity* (workload, spec, warm-up and configuration):
+    /// every boundary already published restores in O(state), so re-runs
+    /// skip the serial warm-up entirely and execute fully in parallel.
+    /// Implies [`checkpoints`](Self::checkpoints).
+    pub fn warm_ladder(mut self, ladder: &'l WarmLadder<S::Checkpoint>) -> Self {
+        self.warm = Some(ladder);
+        self.checkpoint_mode = true;
+        self
+    }
+
     /// Run every shard and merge.
     ///
     /// # Errors
@@ -415,12 +656,14 @@ where
                 result,
                 intervals,
                 telemetry: ParallelTelemetry {
-                    serial_setup_seconds: 0.0,
-                    position_seconds: 0.0,
-                    advanced_instructions: 0,
                     peak_event_buffer_bytes: EVENT_BLOCK_BYTES,
+                    ..ParallelTelemetry::default()
                 },
             });
+        }
+
+        if self.checkpoint_mode {
+            return self.run_checkpointed(shards, setup_started);
         }
 
         let chunk = self.measure.div_ceil(shards as u64);
@@ -515,6 +758,241 @@ where
         let mut outcome = merge(shard_outputs);
         outcome.telemetry.serial_setup_seconds = serial_setup_seconds;
         outcome.telemetry.peak_event_buffer_bytes = threads as u64 * EVENT_BLOCK_BYTES;
+        Ok(outcome)
+    }
+
+    /// Checkpoint-mode back half of [`run`](Self::run): shards restore
+    /// warm snapshots from the [`WarmLadder`] (or hand them forward while
+    /// a cold run pipelines) and measure to *absolute* committed targets
+    /// on the serial trajectory, so the merge is bit-identical to a
+    /// serial session for any workload.
+    fn run_checkpointed(
+        self,
+        shards: usize,
+        setup_started: Instant,
+    ) -> Result<ParallelOutcome, SessionError> {
+        let spec = self.spec;
+        let interval = self.interval;
+        let warmup = self.warmup;
+        let measure = self.measure;
+        let chunk = measure.div_ceil(shards as u64);
+        // Drop the empty tail exactly as approximate mode does.
+        let shards = measure.div_ceil(chunk) as usize;
+
+        let local_warm;
+        let warm = match self.warm {
+            Some(shared) => shared,
+            None => {
+                local_warm = WarmLadder::new();
+                &local_warm
+            }
+        };
+
+        struct ShardCost {
+            restore_seconds: f64,
+            snapshot_bytes: u64,
+            warmed_instructions: u64,
+        }
+
+        let config = &self.config;
+        let label = &self.label;
+        let factory = &self.factory;
+        let jobs: Vec<(String, _)> = (0..shards)
+            .map(|i| {
+                let job = move || {
+                    // If this job dies before handing its snapshot on,
+                    // poison the ladder so downstream shards fail fast
+                    // instead of waiting forever.
+                    let mut guard = PoisonGuard {
+                        ladder: warm,
+                        armed: true,
+                    };
+                    let restore_started = Instant::now();
+                    let mut source = factory();
+                    let identity = warm_identity(source.source_name(), &spec, warmup, config);
+                    warm.bind(&identity);
+                    let key = warmup + i as u64 * chunk;
+                    let mut snapshot_bytes = 0u64;
+                    let mut warmed_instructions = 0u64;
+
+                    let engine = spec.build_engine().expect("spec validated before sharding");
+                    let bpu = Bpu::new(engine, config.ras_entries, config.decode_resteer);
+                    let org = label.clone().unwrap_or_else(|| spec.org.id().to_string());
+
+                    // Shard 0 may build the warm-up from scratch; every
+                    // later shard restores its predecessor's hand-off.
+                    let entry = if i == 0 {
+                        warm.get(key)
+                    } else {
+                        Some(warm.wait(key))
+                    };
+                    let (mut sim, base) = match entry {
+                        Some(e) => {
+                            source.restore(&e.checkpoint);
+                            let mut sim =
+                                Simulator::new(config.clone(), source, bpu, org, spec.bits());
+                            restore_sealed(&mut sim, &identity, &e.snapshot).unwrap_or_else(
+                                |err| panic!("warm snapshot restore failed at key {key}: {err}"),
+                            );
+                            snapshot_bytes = snapshot_bytes.max(e.snapshot.len() as u64);
+                            (sim, e.base)
+                        }
+                        None => {
+                            let mut sim =
+                                Simulator::new(config.clone(), source, bpu, org, spec.bits());
+                            sim.run_until_committed(warmup);
+                            warmed_instructions = sim.committed();
+                            let base = sim.committed();
+                            let bytes = Arc::new(save_sealed(&identity, &sim));
+                            snapshot_bytes = snapshot_bytes.max(bytes.len() as u64);
+                            warm.publish(
+                                key,
+                                WarmEntry {
+                                    checkpoint: sim.trace().checkpoint(),
+                                    snapshot: bytes,
+                                    base,
+                                    committed: sim.committed(),
+                                    position: sim.trace().position(),
+                                },
+                            );
+                            (sim, base)
+                        }
+                    };
+                    let restore_seconds = restore_started.elapsed().as_secs_f64();
+
+                    // Absolute target on the serial trajectory: the cut
+                    // points are identical to a serial run's tick
+                    // boundaries regardless of shard geometry.
+                    let nominal = chunk.min(measure - i as u64 * chunk);
+                    let target = base + (i as u64 * chunk + nominal).min(measure);
+                    // The restore point overshoots the nominal cut by up
+                    // to `commit_width - 1` committed instructions; anchor
+                    // the interval grid at the global measurement start so
+                    // boundaries land exactly where the serial stream puts
+                    // them.
+                    let grid_offset = sim.committed() - base;
+                    sim.begin_measurement();
+                    let mut intervals = Vec::new();
+                    let trailing = sim.run_measured_aligned(
+                        target,
+                        Some(interval.unwrap_or(nominal).min(nominal)),
+                        grid_offset,
+                        &mut |iv: &IntervalStats| intervals.push(*iv),
+                    );
+                    // An interior shard cut is not a serial interval
+                    // boundary: keep the end-state record out of the
+                    // merged stream but carry it so accumulation across
+                    // the cut stays exact. The final shard's trailing
+                    // partial is a real serial record and stays in.
+                    let cut = if trailing && i + 1 < shards {
+                        intervals.pop()
+                    } else {
+                        None
+                    };
+
+                    if i + 1 < shards {
+                        let next_key = warmup + (i as u64 + 1) * chunk;
+                        if warm.get(next_key).is_none() {
+                            let bytes = Arc::new(save_sealed(&identity, &sim));
+                            snapshot_bytes = snapshot_bytes.max(bytes.len() as u64);
+                            warm.publish(
+                                next_key,
+                                WarmEntry {
+                                    checkpoint: sim.trace().checkpoint(),
+                                    snapshot: bytes,
+                                    base,
+                                    committed: sim.committed(),
+                                    position: sim.trace().position(),
+                                },
+                            );
+                        }
+                    }
+                    guard.armed = false;
+                    let result = sim.into_result();
+                    (
+                        result,
+                        intervals,
+                        cut,
+                        ShardCost {
+                            restore_seconds,
+                            snapshot_bytes,
+                            warmed_instructions,
+                        },
+                    )
+                };
+                (format!("shard{i}"), job)
+            })
+            .collect();
+
+        let pool_label = self
+            .label
+            .clone()
+            .unwrap_or_else(|| spec.org.id().to_string());
+        let threads = self.threads.min(shards);
+        let serial_setup_seconds = setup_started.elapsed().as_secs_f64();
+        let outputs = run_named_jobs(&pool_label, threads, jobs);
+        let mut restore_seconds = 0.0;
+        let mut snapshot_bytes = 0u64;
+        let mut warmed_instructions = 0u64;
+        // Merge in shard (= trace) order. Cumulative interval fields are
+        // shard-local; re-base them on the running end-state of all prior
+        // shards. `end` tracks that end-state — a popped cut record when
+        // the shard stopped between grid points, otherwise the shard's
+        // last emitted boundary — and deltas are recomputed between
+        // consecutive *merged* records so an interval spanning a shard
+        // cut gets the serial value.
+        let mut merged: Option<SimResult> = None;
+        let mut intervals: Vec<IntervalStats> = Vec::new();
+        let mut end: (u64, u64, crate::bpu::BpuStats) = (0, 0, Default::default());
+        for (shard_result, shard_intervals, cut, cost) in outputs {
+            restore_seconds += cost.restore_seconds;
+            snapshot_bytes = snapshot_bytes.max(cost.snapshot_bytes);
+            warmed_instructions += cost.warmed_instructions;
+            let (base_instr, base_cycles, base_bpu) = end;
+            let pushed_any = !shard_intervals.is_empty();
+            for iv in &shard_intervals {
+                let instructions = base_instr + iv.instructions;
+                let cycles = base_cycles + iv.cycles;
+                let mut bpu = base_bpu;
+                bpu.merge(&iv.bpu);
+                let (prev_instr, prev_cycles) = intervals
+                    .last()
+                    .map(|p| (p.instructions, p.cycles))
+                    .unwrap_or_default();
+                intervals.push(IntervalStats {
+                    index: intervals.len() as u64,
+                    instructions,
+                    cycles,
+                    delta_instructions: instructions - prev_instr,
+                    delta_cycles: cycles - prev_cycles,
+                    bpu,
+                });
+            }
+            end = if let Some(c) = cut {
+                let mut bpu = base_bpu;
+                bpu.merge(&c.bpu);
+                (base_instr + c.instructions, base_cycles + c.cycles, bpu)
+            } else if pushed_any {
+                let last = intervals.last().expect("pushed above");
+                (last.instructions, last.cycles, last.bpu)
+            } else {
+                end
+            };
+            match &mut merged {
+                None => merged = Some(shard_result),
+                Some(r) => r.stats.merge(&shard_result.stats),
+            }
+        }
+        let mut outcome = ParallelOutcome {
+            result: merged.expect("at least one shard"),
+            intervals,
+            telemetry: ParallelTelemetry::default(),
+        };
+        outcome.telemetry.serial_setup_seconds = serial_setup_seconds;
+        outcome.telemetry.peak_event_buffer_bytes = threads as u64 * EVENT_BLOCK_BYTES;
+        outcome.telemetry.restore_seconds = restore_seconds;
+        outcome.telemetry.snapshot_bytes = snapshot_bytes;
+        outcome.telemetry.warmed_instructions = warmed_instructions;
         Ok(outcome)
     }
 }
@@ -782,5 +1260,164 @@ mod tests {
         let ladder: CheckpointLadder<u64> = CheckpointLadder::new();
         ladder.bind("workload-a");
         ladder.bind("workload-b");
+    }
+
+    /// A pseudo-random branchy trace (calls, returns, conditionals,
+    /// indirect branches, loads and stores) whose microarchitectural
+    /// state never converges — the adversarial case for carry-in
+    /// sharding.
+    fn branchy(n: u64) -> VecSource {
+        use btbx_core::types::{BranchClass, BranchEvent};
+        use btbx_trace::record::MemAccess;
+        let mut v = Vec::with_capacity(n as usize);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pc = 0x1_0000 + (state % 0x8000) * 4;
+            let instr = match state % 7 {
+                0 => {
+                    let class = BranchClass::ALL[(state >> 16) as usize % BranchClass::ALL.len()];
+                    let target = 0x1_0000 + ((state >> 24) % 0x8000) * 4;
+                    let ev = if class.is_always_taken() || state & 0x100 != 0 {
+                        BranchEvent::taken(pc, target, class)
+                    } else {
+                        BranchEvent::not_taken(pc, target)
+                    };
+                    TraceInstr::branch(pc, 4, ev)
+                }
+                1 => TraceInstr::mem(pc, 4, MemAccess::Load(0x80_0000 + (state >> 20) % 0x10000)),
+                2 => TraceInstr::mem(pc, 4, MemAccess::Store(0x90_0000 + (state >> 20) % 0x10000)),
+                _ => TraceInstr::other(pc, 4),
+            };
+            v.push(instr);
+        }
+        VecSource::new("branchy", v)
+    }
+
+    #[test]
+    fn checkpoint_mode_matches_serial_bit_exactly() {
+        // The exactness claim of checkpoint mode: for a workload where
+        // carry-in sharding measurably diverges, every shard count must
+        // still equal the serial run — all counters, not just MPKI.
+        let spec = BtbSpec::of(OrgKind::BtbX).at(BudgetPoint::Kb3_6);
+        let serial = SimSession::new(branchy(90_000))
+            .btb_spec(spec)
+            .warmup(8_000)
+            .measure(50_000)
+            .run()
+            .unwrap();
+        for shards in [2usize, 3, 5] {
+            let out = ParallelSession::new(|| branchy(90_000), spec)
+                .warmup(8_000)
+                .measure(50_000)
+                .shards(shards)
+                .checkpoints(true)
+                .run()
+                .unwrap();
+            assert_eq!(out.result.stats, serial.stats, "shards = {shards}");
+            assert_eq!(out.result.org, serial.org);
+            let sum: u64 = out.intervals.iter().map(|iv| iv.delta_instructions).sum();
+            assert_eq!(sum, out.result.stats.instructions);
+        }
+    }
+
+    #[test]
+    fn checkpoint_mode_ignores_carry_in() {
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8);
+        let run = |carry: u64| {
+            ParallelSession::new(|| branchy(80_000), spec)
+                .config(SimConfig::without_fdip())
+                .warmup(6_000)
+                .measure(40_000)
+                .shards(4)
+                .carry_in(carry)
+                .checkpoints(true)
+                .run()
+                .unwrap()
+        };
+        let a = run(0);
+        let b = run(6_000);
+        assert_eq!(
+            a.result.stats, b.result.stats,
+            "checkpoint mode must not depend on the carry-in setting"
+        );
+    }
+
+    #[test]
+    fn warm_ladder_rerun_is_exact_and_skips_the_warmup() {
+        let spec = BtbSpec::of(OrgKind::Pdede).at(BudgetPoint::Kb3_6);
+        let warm = WarmLadder::new();
+        let run = || {
+            ParallelSession::new(|| branchy(90_000), spec)
+                .config(SimConfig::without_fdip())
+                .warmup(8_000)
+                .measure(48_000)
+                .shards(3)
+                .warm_ladder(&warm)
+                .run()
+                .unwrap()
+        };
+        let cold = run();
+        assert!(
+            cold.telemetry.warmed_instructions >= 8_000,
+            "the cold run must simulate the warm-up once"
+        );
+        assert!(cold.telemetry.snapshot_bytes > 0);
+        assert_eq!(warm.len(), 3, "warm-up rung plus two hand-off rungs");
+        let rerun = run();
+        assert_eq!(
+            rerun.telemetry.warmed_instructions, 0,
+            "a warm re-run must restore every boundary in O(state)"
+        );
+        assert_eq!(rerun.result.stats, cold.result.stats);
+        for (x, y) in rerun.intervals.iter().zip(&cold.intervals) {
+            assert_eq!(x.instructions, y.instructions);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.bpu, y.bpu);
+        }
+    }
+
+    #[test]
+    fn warm_ladder_reuses_rungs_across_shard_geometries() {
+        // Keys are nominal (`warmup + i·chunk`), so a 2-shard run and a
+        // 4-shard run of the same identity share the rungs where their
+        // boundaries coincide — and both match the serial trajectory.
+        let spec = BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8);
+        let warm = WarmLadder::new();
+        let run = |shards: usize| {
+            ParallelSession::new(|| branchy(80_000), spec)
+                .config(SimConfig::without_fdip())
+                .warmup(4_000)
+                .measure(40_000)
+                .shards(shards)
+                .warm_ladder(&warm)
+                .run()
+                .unwrap()
+        };
+        let two = run(2);
+        let four = run(4);
+        assert_eq!(two.result.stats, four.result.stats);
+        assert_eq!(
+            four.telemetry.warmed_instructions, 0,
+            "the 4-shard run must reuse the 2-shard run's warm rung"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to reuse")]
+    fn warm_ladder_rejects_a_different_identity() {
+        let ladder: WarmLadder<u64> = WarmLadder::new();
+        ladder.bind("line|conv|14848b|warm100|SimConfig { .. }");
+        ladder.bind("line|btbx|14848b|warm100|SimConfig { .. }");
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poisoned_warm_ladder_fails_waiters_fast() {
+        let ladder: WarmLadder<u64> = WarmLadder::new();
+        ladder.poison();
+        ladder.wait(0);
     }
 }

@@ -19,9 +19,10 @@ use crate::ftq::Ftq;
 use crate::hierarchy::{Hierarchy, Port};
 use crate::session::IntervalStats;
 use crate::stats::{SimResult, SimStats};
+use btbx_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use btbx_core::types::BranchEvent;
 use btbx_trace::packed::PackedBuf;
-use btbx_trace::record::{MemAccess, Op};
+use btbx_trace::record::{MemAccess, Op, TraceInstr};
 use btbx_trace::TraceSource;
 use std::collections::VecDeque;
 
@@ -150,13 +151,63 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
         observer: &mut dyn FnMut(&IntervalStats),
     ) -> SimResult {
         // Warm-up phase.
-        while self.committed < warmup && !self.finished() {
+        self.run_until_committed(warmup);
+        self.begin_measurement();
+        let target = self.committed.saturating_add(measure);
+        self.run_measured(target, interval, observer);
+        self.finish()
+    }
+
+    /// Tick until the *absolute* committed-instruction count reaches
+    /// `target` (or the trace drains). The warm-up building block of both
+    /// the serial path and checkpoint-mode shards.
+    pub fn run_until_committed(&mut self, target: u64) {
+        while self.committed < target && !self.finished() {
             self.tick();
         }
-        self.begin_measurement();
-        let target = measure;
+    }
+
+    /// Tick the measurement window until the *absolute* committed count
+    /// reaches `target`, streaming interval snapshots (boundaries are
+    /// relative to the [`Self::begin_measurement`] point). Callers must
+    /// have started measurement first.
+    pub fn run_measured(
+        &mut self,
+        target: u64,
+        interval: Option<u64>,
+        observer: &mut dyn FnMut(&IntervalStats),
+    ) {
+        self.run_measured_aligned(target, interval, 0, observer);
+    }
+
+    /// [`run_measured`](Self::run_measured) with the interval grid
+    /// anchored `grid_offset` instructions *before* this simulator's
+    /// measurement start. Checkpoint-mode shards restore mid-window — the
+    /// predecessor's cut overshoots the nominal boundary by up to
+    /// `commit_width - 1` instructions — and pass that overshoot here so
+    /// boundaries still fire at the exact committed counts the serial
+    /// interval stream crosses (the records themselves stay shard-local;
+    /// the merge re-accumulates them).
+    ///
+    /// Returns `true` when the final record was an off-grid trailing
+    /// partial (the run ended between grid points). A serial run keeps
+    /// that record; a non-final shard's caller pops it and carries it as
+    /// pure accumulation state, because the serial stream has no boundary
+    /// at an interior shard cut.
+    pub fn run_measured_aligned(
+        &mut self,
+        target: u64,
+        interval: Option<u64>,
+        grid_offset: u64,
+        observer: &mut dyn FnMut(&IntervalStats),
+    ) -> bool {
         let step = interval.unwrap_or(u64::MAX);
-        let mut next_boundary = step;
+        // First grid point strictly past the restore position: boundaries
+        // at or before `grid_offset` were already emitted upstream.
+        let mut next_boundary = (grid_offset / step)
+            .saturating_add(1)
+            .saturating_mul(step)
+            .saturating_sub(grid_offset);
         let mut index = 0u64;
         let (mut emitted_instr, mut emitted_cycles) = (0u64, 0u64);
         let mut emit = |sim: &Self, index: u64, emitted_instr: u64, emitted_cycles: u64| {
@@ -173,23 +224,42 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
             observer(&iv);
             (instructions, cycles)
         };
-        while self.committed - self.measure_start_committed < target && !self.finished() {
+        while self.committed < target && !self.finished() {
             self.tick();
             if self.committed - self.measure_start_committed >= next_boundary {
-                (emitted_instr, emitted_cycles) = emit(&self, index, emitted_instr, emitted_cycles);
+                (emitted_instr, emitted_cycles) = emit(self, index, emitted_instr, emitted_cycles);
                 index += 1;
                 next_boundary = next_boundary.saturating_add(step);
             }
         }
         // Trailing partial interval.
         if interval.is_some() && self.committed - self.measure_start_committed > emitted_instr {
-            emit(&self, index, emitted_instr, emitted_cycles);
+            emit(self, index, emitted_instr, emitted_cycles);
+            return true;
         }
-        self.finish()
+        false
     }
 
-    fn finished(&self) -> bool {
+    /// `true` when the trace has drained and the pipeline is empty.
+    pub fn finished(&self) -> bool {
         self.trace_done && self.ftq.is_empty() && self.rob.is_empty()
+    }
+
+    /// Committed instructions since construction (absolute, not relative
+    /// to the measurement window).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Borrow the trace source (checkpoint-mode shards record the source
+    /// position alongside a microarchitectural snapshot).
+    pub fn trace(&self) -> &S {
+        &self.trace
+    }
+
+    /// Mutable trace source access.
+    pub fn trace_mut(&mut self) -> &mut S {
+        &mut self.trace
     }
 
     /// Pop the next trace event from the staging block, refilling it from
@@ -208,7 +278,10 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
         Some(instr)
     }
 
-    fn begin_measurement(&mut self) {
+    /// Mark the warm-up boundary: statistics reset, structures keep their
+    /// warmed contents (Section VI-A). Idempotent in effect — only the
+    /// counters collected afterwards are reported.
+    pub fn begin_measurement(&mut self) {
         self.measuring = true;
         self.measure_start_cycle = self.cycle;
         self.measure_start_committed = self.committed;
@@ -220,6 +293,11 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
         if let Some(f) = &mut self.fdip {
             f.reset_stats();
         }
+    }
+
+    /// Consume the simulator and report the measurement window.
+    pub fn into_result(self) -> SimResult {
+        self.finish()
     }
 
     fn finish(mut self) -> SimResult {
@@ -432,6 +510,121 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
                 break;
             }
         }
+    }
+}
+
+impl<S: TraceSource, B: btbx_core::Btb + Snapshot> Snapshot for Simulator<S, B> {
+    /// Serialize the complete microarchitectural state — pipeline, BPU,
+    /// caches, prefetcher, staging block and all counters. The trace
+    /// source is *not* included: a snapshot pairs with a trace checkpoint
+    /// taken at the same moment (the source sits ahead of commit by the
+    /// in-flight instructions, which the snapshot carries).
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.budget_bits);
+        self.bpu.save_state(w);
+        self.ftq.save_state(w);
+        self.hierarchy.save_state(w);
+        match &self.fdip {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                f.save_state(w);
+            }
+        }
+        w.u64(self.rob.len() as u64);
+        for e in &self.rob {
+            w.u64(e.complete_at);
+            match &e.branch {
+                None => w.bool(false),
+                Some(ev) => {
+                    w.bool(true);
+                    ev.save_state(w);
+                }
+            }
+        }
+        // Unconsumed remnant of the staging block, re-serialized as wide
+        // records (the paired trace checkpoint sits just past it).
+        w.u64((self.block.len() - self.block_pos) as u64);
+        for i in self.block_pos..self.block.len() {
+            self.block.get(i).save_snap(w);
+        }
+        w.u64(self.cycle);
+        w.u64(self.committed);
+        match self.bpu_state {
+            BpuState::Running => w.u8(0),
+            BpuState::BlockedUnknown => w.u8(1),
+            BpuState::BlockedUntil(t) => {
+                w.u8(2);
+                w.u64(t);
+            }
+        }
+        w.u64(self.bpu_busy_until);
+        w.u64(self.last_complete);
+        w.bool(self.trace_done);
+        w.bool(self.measuring);
+        w.u64(self.measure_start_cycle);
+        w.u64(self.measure_start_committed);
+        w.u64(self.bubble_cycles);
+        w.u64(self.fetch_starved_cycles);
+        w.u64(self.rob_full_cycles);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_u64(self.budget_bits, "btb budget bits")?;
+        self.bpu.restore_state(r)?;
+        self.ftq.restore_state(r)?;
+        self.hierarchy.restore_state(r)?;
+        let has_fdip = r.bool()?;
+        if has_fdip != self.fdip.is_some() {
+            return Err(SnapError::Corrupt("fdip configuration mismatch"));
+        }
+        if let Some(f) = &mut self.fdip {
+            f.restore_state(r)?;
+        }
+        let rob_len = r.u64()? as usize;
+        if rob_len > self.config.rob_entries {
+            return Err(SnapError::Corrupt("rob occupancy exceeds capacity"));
+        }
+        self.rob.clear();
+        for _ in 0..rob_len {
+            let complete_at = r.u64()?;
+            let branch = if r.bool()? {
+                Some(BranchEvent::load_state(r)?)
+            } else {
+                None
+            };
+            self.rob.push_back(RobEntry {
+                complete_at,
+                branch,
+            });
+        }
+        let remnant = r.u64()? as usize;
+        if remnant > EVENT_BLOCK_EVENTS {
+            return Err(SnapError::Corrupt("staging block exceeds capacity"));
+        }
+        self.block.clear();
+        self.block_pos = 0;
+        for _ in 0..remnant {
+            self.block.push(TraceInstr::load_snap(r)?);
+        }
+        self.cycle = r.u64()?;
+        self.committed = r.u64()?;
+        self.bpu_state = match r.u8()? {
+            0 => BpuState::Running,
+            1 => BpuState::BlockedUnknown,
+            2 => BpuState::BlockedUntil(r.u64()?),
+            _ => return Err(SnapError::Corrupt("bpu state discriminant")),
+        };
+        self.bpu_busy_until = r.u64()?;
+        self.last_complete = r.u64()?;
+        self.trace_done = r.bool()?;
+        self.measuring = r.bool()?;
+        self.measure_start_cycle = r.u64()?;
+        self.measure_start_committed = r.u64()?;
+        self.bubble_cycles = r.u64()?;
+        self.fetch_starved_cycles = r.u64()?;
+        self.rob_full_cycles = r.u64()?;
+        Ok(())
     }
 }
 

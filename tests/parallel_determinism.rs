@@ -249,6 +249,42 @@ fn every_paper_org_is_shard_invariant_on_the_call_loop() {
     }
 }
 
+/// Warm-checkpoint mode drops both preconditions of the replay-based
+/// equivalence contract: shards restore the serial machine snapshot at
+/// exact committed-instruction boundaries instead of re-warming from a
+/// carry-in, so the merged run equals the serial run bit-for-bit for any
+/// workload, any shard count and the *default* commit width (no
+/// `commit_width: 1` needed — boundaries are committed targets, not tick
+/// counts).
+#[test]
+fn checkpoint_mode_is_exact_at_default_width() {
+    let config = SimConfig::with_fdip();
+    let spec = BtbSpec::of(OrgKind::BtbX).at(BudgetPoint::Kb3_6);
+    let (serial, serial_intervals) = serial_reference("call", call_loop_body(), spec, &config);
+    for shards in [2usize, 5, 8] {
+        let body = call_loop_body();
+        let out = ParallelSession::new(
+            move || looped("call", body.clone(), WARMUP + MEASURE + 1_000),
+            spec,
+        )
+        .config(config.clone())
+        .warmup(WARMUP)
+        .measure(MEASURE)
+        .every(INTERVAL)
+        .shards(shards)
+        .checkpoints(true)
+        .run()
+        .expect("valid checkpointed session");
+        let ctx = format!("checkpointed call loop, {shards} shard(s)");
+        assert_stats_identical(&ctx, &serial.stats, &out.result.stats);
+        assert_intervals_identical(&ctx, &serial_intervals, &out.intervals);
+        assert!(
+            out.telemetry.warmed_instructions >= WARMUP,
+            "{ctx}: shard 0 warms cold exactly once"
+        );
+    }
+}
+
 /// With the default 6-wide commit, chunk boundaries may overshoot by up
 /// to `commit_width - 1` instructions per shard. Pin the documented
 /// contract: coverage is complete (never short), bounded overshoot, and
