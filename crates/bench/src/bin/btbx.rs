@@ -15,6 +15,7 @@
 //! and overlapping invocations share runs.
 
 use btbx_bench::cluster::{self, ClusterConfig};
+use btbx_bench::faults;
 use btbx_bench::opts::{OptError, OPTIONS_USAGE};
 use btbx_bench::registry::{self, ExperimentKind};
 use btbx_bench::report::write_artifact;
@@ -102,11 +103,23 @@ endpoints:
 options:
   --port N         listen port on 127.0.0.1 (0 = ephemeral)  [8427]
   --port-file F    write the bound port to F (for scripts)
+  --max-inflight N admit at most N concurrent /sim requests; excess
+                   requests are shed with 429 + Retry-After instead
+                   of queueing unboundedly (0 = unlimited)    [0]
+  --deadline-ms D  abort any single simulation still running after D
+                   milliseconds with 503 (the connection survives;
+                   0 = no deadline)                           [0]
 shared options (--threads, --shards, --out for the cache dir) apply;
 `--shards 1` (the default) serves results byte-identical to the serial
 CLI path.";
 
 fn main() {
+    // Chaos testing: BTBX_FAULT_PLAN arms a fault plan for the whole
+    // process (any subcommand). A malformed plan is fatal — silently
+    // running *without* the requested faults would make a chaos run
+    // look like a pass.
+    let _env_fault_guard = faults::arm_from_env()
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", faults::FAULT_PLAN_ENV)));
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         println!("{USAGE}");
@@ -273,6 +286,8 @@ fn sweep_cmd(args: Vec<String>) {
         }
     }
     let opts = parse_opts(rest, "sweep", Some(SWEEP_USAGE));
+    let _fault_guard =
+        faults::arm_from_opts(&opts).unwrap_or_else(|e| fail(&format!("--fault-plan: {e}")));
     if server.is_some() && cluster_list.is_some() {
         fail("--server and --cluster are mutually exclusive");
     }
@@ -394,6 +409,8 @@ fn sweep_cmd(args: Vec<String>) {
 fn serve_cmd(args: Vec<String>) {
     let mut port: u16 = 8427;
     let mut port_file: Option<String> = None;
+    let mut max_inflight: usize = 0;
+    let mut deadline_ms: u64 = 0;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -408,6 +425,16 @@ fn serve_cmd(args: Vec<String>) {
                     .unwrap_or_else(|_| fail("--port expects a port number"));
             }
             "--port-file" => port_file = Some(value("--port-file")),
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-inflight expects a count"));
+            }
+            "--deadline-ms" => {
+                deadline_ms = value("--deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--deadline-ms expects milliseconds"));
+            }
             "--help" | "-h" => {
                 println!("{SERVE_USAGE}\n\n{OPTIONS_USAGE}");
                 return;
@@ -416,7 +443,9 @@ fn serve_cmd(args: Vec<String>) {
         }
     }
     let opts = parse_opts(rest, "serve", Some(SERVE_USAGE));
-    let config = ServeConfig::from_opts(port, &opts);
+    let mut config = ServeConfig::from_opts(port, &opts);
+    config.max_inflight = max_inflight;
+    config.deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
     let shards = config.shards;
     let server =
         Server::start(config).unwrap_or_else(|e| fail(&format!("starting the service: {e}")));
@@ -443,11 +472,20 @@ Probe every node of a `btbx serve` fleet (GET /healthz + GET /stats)
 and print a per-node table: reachability, service and cache versions,
 shard configuration, and request/cache counters.
 
-Exits 1 when any node is unreachable or the fleet mixes cache versions
-or shard configurations (a coordinator would refuse it too).
+Exits 1 when any node is unreachable, the fleet mixes cache versions
+or shard configurations (a coordinator would refuse it too), or any
+node has shed more requests than --max-shed allows.
+
+The table includes the overload counters: `shed` (requests refused
+with 429 under admission control), `dlabort` (simulations aborted at
+the per-request deadline) and `resumed` (points served from disk to a
+resuming sweep).
 
 options:
-  --http-timeout-ms N  per-phase probe timeout            [2000]";
+  --http-timeout-ms N  per-phase probe timeout            [2000]
+  --max-shed N         tolerate at most N shed requests per node
+                       before exiting non-zero (unset: shedding
+                       is reported but never fails the probe)";
 
 fn cluster_cmd(mut args: Vec<String>) {
     match args.first().map(String::as_str) {
@@ -462,6 +500,7 @@ fn cluster_cmd(mut args: Vec<String>) {
     }
     let mut list: Option<String> = None;
     let mut timeout = std::time::Duration::from_secs(2);
+    let mut max_shed: Option<u64> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -471,6 +510,13 @@ fn cluster_cmd(mut args: Vec<String>) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| fail("--http-timeout-ms expects milliseconds"));
                 timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--max-shed" => {
+                max_shed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--max-shed expects a count")),
+                );
             }
             "--help" | "-h" => {
                 println!("{CLUSTER_USAGE}");
@@ -484,38 +530,61 @@ fn cluster_cmd(mut args: Vec<String>) {
     let nodes = cluster::parse_node_list(&list).unwrap_or_else(|e| fail(&format!("cluster: {e}")));
 
     println!(
-        "{:<22} {:<12} {:>8} {:>7} {:>9} {:>7} {:>9} {:>6} {:>7}",
-        "node", "state", "version", "cachev", "shards", "reqs", "computes", "disk", "joins"
+        "{:<22} {:<12} {:>8} {:>7} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6} {:>8} {:>8}",
+        "node",
+        "state",
+        "version",
+        "cachev",
+        "shards",
+        "reqs",
+        "computes",
+        "disk",
+        "joins",
+        "shed",
+        "dlabort",
+        "resumed"
     );
     let mut cache_versions: Vec<u32> = Vec::new();
     let mut shard_counts: Vec<usize> = Vec::new();
     let mut unreachable = 0usize;
+    let mut overshed: Vec<String> = Vec::new();
     for node in &nodes {
         match cluster::protocol::probe_health(node, timeout) {
             Ok(health) => {
                 cache_versions.push(health.cache_version);
                 shard_counts.push(health.shards);
                 let stats = cluster::protocol::probe_stats(node, timeout);
-                let (reqs, computes, disk, joins) = match &stats {
-                    Ok(s) => (
-                        s.requests.to_string(),
-                        s.store.computes.to_string(),
-                        s.store.disk_hits.to_string(),
-                        s.store.joins.to_string(),
-                    ),
-                    Err(_) => ("?".into(), "?".into(), "?".into(), "?".into()),
+                let row: [String; 7] = match &stats {
+                    Ok(s) => {
+                        if max_shed.is_some_and(|limit| s.shed > limit) {
+                            overshed.push(format!("{node} shed {} request(s)", s.shed));
+                        }
+                        [
+                            s.requests.to_string(),
+                            s.store.computes.to_string(),
+                            s.store.disk_hits.to_string(),
+                            s.store.joins.to_string(),
+                            s.shed.to_string(),
+                            s.deadline_aborts.to_string(),
+                            s.resumed_points.to_string(),
+                        ]
+                    }
+                    Err(_) => std::array::from_fn(|_| "?".to_string()),
                 };
                 println!(
-                    "{:<22} {:<12} {:>8} {:>7} {:>9} {:>7} {:>9} {:>6} {:>7}",
+                    "{:<22} {:<12} {:>8} {:>7} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6} {:>8} {:>8}",
                     node,
                     "healthy",
                     health.version,
                     health.cache_version,
                     health.shards,
-                    reqs,
-                    computes,
-                    disk,
-                    joins
+                    row[0],
+                    row[1],
+                    row[2],
+                    row[3],
+                    row[4],
+                    row[5],
+                    row[6]
                 );
             }
             Err(e) => {
@@ -527,6 +596,13 @@ fn cluster_cmd(mut args: Vec<String>) {
     let mut problems = Vec::new();
     if unreachable > 0 {
         problems.push(format!("{unreachable} node(s) unreachable"));
+    }
+    if !overshed.is_empty() {
+        problems.push(format!(
+            "overload shedding above --max-shed {}: {}",
+            max_shed.unwrap_or_default(),
+            overshed.join(", ")
+        ));
     }
     cache_versions.dedup();
     if cache_versions.len() > 1 {

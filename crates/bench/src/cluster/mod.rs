@@ -111,6 +111,8 @@ impl LocalCluster {
                 cache_dir: base.join(format!("node{i}")).join("cache"),
                 threads,
                 shards,
+                max_inflight: 0,
+                deadline: None,
             })?;
             cluster.addrs.push(server.addr().to_string());
             cluster.nodes.push(Some(server));

@@ -89,9 +89,12 @@ pub enum RequestError {
 
 impl RequestError {
     /// Whether retrying the same request (on this or another node) is
-    /// pointless: 4xx responses are deterministic rejections.
+    /// pointless: 4xx responses are deterministic rejections — except
+    /// 429, which reports transient overload (the server *chose* to
+    /// shed; the same request succeeds once load drains).
     pub fn is_permanent(&self) -> bool {
-        matches!(self, RequestError::Status { status, .. } if (400..500).contains(status))
+        matches!(self, RequestError::Status { status, .. }
+            if (400..500).contains(status) && *status != 429)
     }
 }
 
@@ -250,6 +253,7 @@ impl std::error::Error for ClusterError {}
 /// `/healthz` carries no version fields) — both mean "not usable as a
 /// fleet member".
 pub fn probe_health(addr: &str, timeout: Duration) -> Result<HealthInfo, RequestError> {
+    let timeout = crate::opts::sane_timeout(timeout);
     let response =
         http_request_timeout(addr, "GET", "/healthz", "", timeout).map_err(RequestError::Io)?;
     if response.status != 200 {
@@ -268,6 +272,7 @@ pub fn probe_health(addr: &str, timeout: Duration) -> Result<HealthInfo, Request
 ///
 /// [`RequestError`] on transport, status or parse failures.
 pub fn probe_stats(addr: &str, timeout: Duration) -> Result<ServeStats, RequestError> {
+    let timeout = crate::opts::sane_timeout(timeout);
     let response =
         http_request_timeout(addr, "GET", "/stats", "", timeout).map_err(RequestError::Io)?;
     if response.status != 200 {
@@ -290,6 +295,7 @@ pub fn post_point(
     point: &SimPoint,
     timeout: Duration,
 ) -> Result<SimResult, RequestError> {
+    let timeout = crate::opts::sane_timeout(timeout);
     let body = serde_json::to_string(point).expect("points serialize");
     let response =
         http_request_timeout(addr, "POST", "/sim", &body, timeout).map_err(RequestError::Io)?;
@@ -398,5 +404,12 @@ mod tests {
         assert!(!e.is_permanent());
         assert!(!RequestError::Io(io::Error::other("x")).is_permanent());
         assert!(!RequestError::FleetDown.is_permanent());
+        // 429 is transient overload (the server shed the request), not a
+        // deterministic rejection — it must stay retryable.
+        let e = RequestError::Status {
+            status: 429,
+            body: String::new(),
+        };
+        assert!(!e.is_permanent());
     }
 }

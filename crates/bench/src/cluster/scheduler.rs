@@ -34,8 +34,9 @@
 
 use super::node::{NodeState, NodeSummary, NodeTracker};
 use super::protocol::{self, ClusterError, HealthInfo, PointError, RequestError};
+use crate::journal::{self, SweepJournal};
 use crate::opts::HarnessOpts;
-use crate::store::ResultStore;
+use crate::store::{ResultStore, StoreError};
 use crate::sweep::{SimPoint, Sweep};
 use btbx_uarch::SimResult;
 use std::collections::HashMap;
@@ -109,6 +110,10 @@ pub struct ClusterStats {
     /// deterministically) and are listed in
     /// [`ClusterReport::failures`].
     pub failed: u64,
+    /// Points skipped on `--resume` because a previous (killed) run's
+    /// journal records them as published (always a subset of
+    /// [`ClusterStats::local_hits`]).
+    pub resumed_points: u64,
 }
 
 /// The outcome of [`run_sweep`]: per-point results in
@@ -255,8 +260,13 @@ impl Queue {
 
     /// Publish a completed item: write-through to the local store and
     /// fill every matrix slot it answers.
-    fn complete(&self, item: WorkItem, result: SimResult, store: &ResultStore) {
+    fn complete(&self, item: WorkItem, result: SimResult, store: &ResultStore, jnl: &SweepJournal) {
         let stored = store.store(&item.key, &result);
+        if stored.is_ok() {
+            // Only after the local entry is durable: `done` is the
+            // resume contract's "this point will never re-run" record.
+            jnl.done(&item.key);
+        }
         let mut st = self.state.lock().unwrap();
         st.in_flight -= 1;
         if let Err(e) = stored {
@@ -287,9 +297,13 @@ impl Queue {
         node: &str,
         error: RequestError,
         config: &ClusterConfig,
+        jnl: &SweepJournal,
     ) -> Option<usize> {
         item.attempts += 1;
         let permanent = error.is_permanent() || item.attempts >= config.max_attempts;
+        if permanent {
+            jnl.failed(&item.key, &error.to_string());
+        }
         let mut st = self.state.lock().unwrap();
         st.in_flight -= 1;
         let outcome = if permanent {
@@ -304,7 +318,9 @@ impl Queue {
         } else {
             let attempts = item.attempts;
             let shift = (attempts - 1).min(6) as u32;
-            item.not_before = Instant::now() + config.backoff * (1u32 << shift);
+            // saturating: a user-configured base backoff near the
+            // Duration ceiling must slow down, not panic on overflow.
+            item.not_before = Instant::now() + config.backoff.saturating_mul(1u32 << shift);
             st.stats.requeued += 1;
             st.pending.push(item);
             Some(attempts)
@@ -411,6 +427,21 @@ pub fn run_sweep_observed(
     };
 
     let store = ResultStore::open(opts.out_dir.join("cache")).map_err(ClusterError::Store)?;
+    let point_names: Vec<String> = sweep
+        .points()
+        .iter()
+        .map(|p| p.cache_file_for(fleet.shards))
+        .collect();
+    let (jnl, recovery) =
+        SweepJournal::open(&opts.out_dir, journal::sweep_key(&point_names), opts.resume).map_err(
+            |source| {
+                ClusterError::Store(StoreError::Io {
+                    action: "opening sweep journal",
+                    path: journal::journal_dir(&opts.out_dir),
+                    source,
+                })
+            },
+        )?;
 
     // Flatten the matrix into unique work items (fleet-wide dedup rides
     // the same content-hash keys the ResultStore single-flights on).
@@ -458,10 +489,19 @@ pub fn run_sweep_observed(
                     results[i] = Some(result.clone());
                 }
                 stats.local_hits += 1;
+                if opts.resume && recovery.completed.contains(&item.key) {
+                    stats.resumed_points += 1;
+                }
                 observer(ClusterEvent::LocalHit { key: item.key });
             }
             None => pending.push(item),
         }
+    }
+    if opts.resume {
+        eprintln!(
+            "[{}] resume: {} point(s) restored from the journal (resumed_points={})",
+            sweep.name, stats.resumed_points, stats.resumed_points
+        );
     }
     if stats.local_hits > 0 {
         eprintln!(
@@ -491,8 +531,9 @@ pub fn run_sweep_observed(
             let queue = &queue;
             let store = &store;
             let fleet = &fleet;
+            let jnl = &jnl;
             scope.spawn(move || {
-                node_worker(queue, tracker, config, store, fleet, observer);
+                node_worker(queue, tracker, config, store, fleet, jnl, observer);
             });
         }
     });
@@ -507,6 +548,11 @@ pub fn run_sweep_observed(
             "[{}@cluster] {}: {} ({} completed, {} failures)",
             sweep.name, n.addr, n.state, n.completed, n.failures
         );
+    }
+    if st.failures.is_empty() {
+        // A sweep with failures keeps its journal so --resume can
+        // re-dispatch exactly the recorded failures.
+        jnl.finish();
     }
     Ok(ClusterReport {
         results: st.results,
@@ -524,6 +570,7 @@ fn node_worker(
     config: &ClusterConfig,
     store: &ResultStore,
     fleet: &HealthInfo,
+    jnl: &SweepJournal,
     observer: &(dyn Fn(ClusterEvent) + Sync),
 ) {
     let addr = tracker.addr();
@@ -569,11 +616,12 @@ fn node_worker(
             continue;
         }
         let Some(item) = queue.pull() else { break };
+        jnl.attempt(&item.key, &item.label);
         match protocol::post_point(addr, &item.point, config.http_timeout) {
             Ok(result) => {
                 tracker.record_success();
                 let key = item.key.clone();
-                queue.complete(item, result, store);
+                queue.complete(item, result, store, jnl);
                 observer(ClusterEvent::PointDone {
                     node: addr.to_string(),
                     key,
@@ -588,7 +636,7 @@ fn node_worker(
                     });
                 }
                 let key = item.key.clone();
-                match queue.settle_failure(item, addr, error, config) {
+                match queue.settle_failure(item, addr, error, config, jnl) {
                     Some(attempts) => observer(ClusterEvent::Requeued {
                         node: addr.to_string(),
                         key,

@@ -15,6 +15,11 @@
 //!   (`eval_matrix`, `budget_sweep`) and the offset-study drivers;
 //! * [`opts`] — shared command-line options (`--warmup`, `--measure`,
 //!   `--quick`, `--fresh`, `--threads`, `--out`), `Result`-based;
+//! * [`faults`] — deterministic fault-injection plans (JSON) armed via
+//!   `--fault-plan` or `BTBX_FAULT_PLAN`, driving the I/O seam in
+//!   `btbx_core::faults`;
+//! * [`journal`] — the fsync'd per-point sweep journal behind
+//!   `btbx sweep --resume`;
 //! * [`runner`] — the panic-safe work-queue thread pool (re-exported
 //!   from `btbx-uarch`);
 //! * [`store`] — the durable per-point result cache ([`ResultStore`]):
@@ -32,7 +37,9 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod faults;
 pub mod figures;
+pub mod journal;
 pub mod opts;
 pub mod perf;
 pub mod registry;

@@ -36,6 +36,13 @@ pub struct HarnessOpts {
     /// transports, applied per phase (connect, write, read) so a wedged
     /// node cannot stall a sweep indefinitely.
     pub http_timeout_ms: u64,
+    /// Resume a crashed sweep from its journal: points the journal
+    /// records as done (and whose cache entries exist) are skipped, and
+    /// only incomplete points are re-dispatched.
+    pub resume: bool,
+    /// Arm this JSON fault plan (a `btbx_bench::faults::FaultPlan`) for
+    /// the whole run — chaos testing only.
+    pub fault_plan: Option<PathBuf>,
 }
 
 /// Default [`HarnessOpts::http_timeout_ms`]: generous enough for the
@@ -57,6 +64,8 @@ impl Default for HarnessOpts {
             shards: 1,
             trace: None,
             http_timeout_ms: DEFAULT_HTTP_TIMEOUT_MS,
+            resume: false,
+            fault_plan: None,
         }
     }
 }
@@ -113,6 +122,11 @@ options:
   --http-timeout-ms N  per-phase HTTP timeout for --server/--cluster
                      transports                           [600000]
   --fresh            re-simulate even when cached results exist
+  --resume           resume a crashed sweep from its journal
+                     (<out>/cache/journal/), re-dispatching only
+                     incomplete points
+  --fault-plan FILE  arm a JSON fault-injection plan for the run
+                     (chaos testing; see EXPERIMENTS.md)
   --out DIR          artifact + cache directory            [results]
   -h, --help         show this help";
 
@@ -152,6 +166,14 @@ impl HarnessOpts {
                     opts.offset_instrs = 300_000;
                 }
                 "--fresh" => opts.fresh = true,
+                "--resume" => opts.resume = true,
+                "--fault-plan" => {
+                    let file = it.next().ok_or(OptError::BadValue {
+                        flag: "--fault-plan".to_string(),
+                        found: None,
+                    })?;
+                    opts.fault_plan = Some(PathBuf::from(file));
+                }
                 "--trace" => {
                     let file = it.next().ok_or(OptError::BadValue {
                         flag: "--trace".to_string(),
@@ -191,9 +213,10 @@ impl HarnessOpts {
         pool_split(self.threads, self.shards)
     }
 
-    /// The HTTP client timeout as a [`std::time::Duration`].
+    /// The HTTP client timeout as a [`std::time::Duration`], clamped to
+    /// the sane range (see [`sane_timeout`]).
     pub fn http_timeout(&self) -> std::time::Duration {
-        std::time::Duration::from_millis(self.http_timeout_ms)
+        sane_timeout(std::time::Duration::from_millis(self.http_timeout_ms))
     }
 
     /// Parse from the process arguments, exiting with usage on errors (the
@@ -211,6 +234,22 @@ impl HarnessOpts {
             }
         }
     }
+}
+
+/// Longest timeout any network phase is allowed: a full day. Anything
+/// larger is a unit mistake (or an overflow feeding `Instant` math) and
+/// behaves like "forever" in practice.
+pub const MAX_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(24 * 60 * 60);
+
+/// Clamp a timeout into the sane range `[1 ms, 24 h]`.
+///
+/// Every socket timeout in the codebase goes through this one helper:
+/// `TcpStream::connect_timeout` panics on a zero duration, and
+/// arithmetic on huge durations (backoff multiplication, deadline
+/// addition to `Instant`) can overflow — both classes of bug are cut off
+/// here instead of at each call site.
+pub fn sane_timeout(timeout: std::time::Duration) -> std::time::Duration {
+    timeout.clamp(std::time::Duration::from_millis(1), MAX_TIMEOUT)
 }
 
 /// See [`HarnessOpts::pool_split`]; free function so callers without an
@@ -283,6 +322,32 @@ mod tests {
         let o = parse(&["--http-timeout-ms", "0"]).unwrap();
         assert_eq!(o.http_timeout_ms, 1, "zero would panic connect_timeout");
         assert!(parse(&["--http-timeout-ms", "soon"]).is_err());
+    }
+
+    #[test]
+    fn resume_and_fault_plan_flags() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.resume);
+        assert_eq!(o.fault_plan, None);
+        let o = parse(&["--resume", "--fault-plan", "/tmp/plan.json"]).unwrap();
+        assert!(o.resume);
+        assert_eq!(o.fault_plan, Some(PathBuf::from("/tmp/plan.json")));
+        assert!(parse(&["--fault-plan"]).is_err());
+    }
+
+    #[test]
+    fn sane_timeout_clamps_both_ends() {
+        use std::time::Duration;
+        assert_eq!(sane_timeout(Duration::ZERO), Duration::from_millis(1));
+        assert_eq!(
+            sane_timeout(Duration::from_secs(5)),
+            Duration::from_secs(5),
+            "in-range timeouts pass through"
+        );
+        assert_eq!(sane_timeout(Duration::MAX), MAX_TIMEOUT);
+        // The overflow class this guards: Duration::MAX would panic
+        // `Instant::now() + timeout`; the clamped value must not.
+        let _ = std::time::Instant::now() + sane_timeout(Duration::MAX);
     }
 
     #[test]

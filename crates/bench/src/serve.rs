@@ -35,12 +35,34 @@
 //! or `joined`) reporting how the result was obtained. Errors are JSON
 //! `{"error": "..."}` with 400 (malformed request) or 500 (failed
 //! simulation) status. See EXPERIMENTS.md, "The simulation service".
+//!
+//! # Overload protection
+//!
+//! Two knobs keep a saturated server degrading gracefully instead of
+//! queueing without bound or resetting connections:
+//!
+//! * `--max-inflight N` bounds concurrently admitted `/sim` requests;
+//!   excess requests are *shed* with `429 Too Many Requests` plus a
+//!   `Retry-After` header — a fast, well-formed answer, never a reset.
+//!   Admitted requests always run to completion.
+//! * `--deadline-ms D` arms a per-request wall-clock deadline: a
+//!   simulation still running when it expires is cooperatively aborted
+//!   (the driving loop polls an abort flag) and the request answered
+//!   with `503 Service Unavailable` — again on the open connection.
+//!
+//! Both surface in `GET /stats` as [`ServeStats::shed`] and
+//! [`ServeStats::deadline_aborts`]; [`ServeStats::resumed_points`]
+//! counts `/sim` responses served from a pre-existing on-disk entry
+//! (work a restarted client did *not* re-run).
 
-use crate::cluster::protocol::{self, ClusterError, PointError};
-use crate::opts::{pool_split, HarnessOpts};
+use crate::cluster::protocol::{self, ClusterError, PointError, RequestError};
+use crate::journal::{self, SweepJournal};
+use crate::opts::{pool_split, sane_timeout, HarnessOpts};
 use crate::runner::ServicePool;
 use crate::store::{Fetch, ResultStore, StoreCounters, StoreError};
 use crate::sweep::{SimPoint, Sweep};
+use btbx_core::faults;
+use btbx_uarch::sim::ABORT_MARKER;
 use btbx_uarch::{AnyWarmLadder, SimResult};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -49,8 +71,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body; a [`SimPoint`] is well under this.
 const MAX_BODY_BYTES: usize = 1 << 20;
@@ -73,16 +95,28 @@ pub struct ServeConfig {
     /// byte-identical to the CLI serial path (warm-checkpoint mode);
     /// more shards trade threads for per-request latency.
     pub shards: usize,
+    /// Maximum concurrently admitted `/sim` requests; `0` = unlimited.
+    /// At the limit, excess requests are shed with `429` + `Retry-After`
+    /// instead of queueing without bound (see the module docs).
+    pub max_inflight: usize,
+    /// Per-request wall-clock deadline for `/sim`: a simulation still
+    /// running when it expires is aborted and answered with `503` on the
+    /// open connection. `None` = no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl ServeConfig {
-    /// Derive the server configuration from shared harness options.
+    /// Derive the server configuration from shared harness options
+    /// (overload protection off by default; `btbx serve` maps
+    /// `--max-inflight`/`--deadline-ms` onto the extra fields).
     pub fn from_opts(port: u16, opts: &HarnessOpts) -> Self {
         ServeConfig {
             port,
             cache_dir: opts.out_dir.join("cache"),
             threads: opts.threads,
             shards: opts.shards.max(1),
+            max_inflight: 0,
+            deadline: None,
         }
     }
 }
@@ -95,6 +129,18 @@ pub struct ServeStats {
     pub requests: u64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: u64,
+    /// `/sim` requests shed with `429` because the in-flight admission
+    /// limit was reached (`errors` includes these).
+    #[serde(default)]
+    pub shed: u64,
+    /// `/sim` requests aborted by the per-request deadline (`503`;
+    /// `errors` includes these too).
+    #[serde(default)]
+    pub deadline_aborts: u64,
+    /// `/sim` responses served from a pre-existing on-disk cache entry —
+    /// work a crashed-and-restarted client did not have to re-run.
+    #[serde(default)]
+    pub resumed_points: u64,
     /// Simulations served: disk hits + single-flight joins + computes.
     pub store: StoreCounters,
 }
@@ -103,14 +149,35 @@ struct ServerState {
     store: ResultStore,
     shards: usize,
     shard_threads: usize,
+    max_inflight: usize,
+    deadline: Option<Duration>,
     /// One warm ladder per distinct simulation point (cache key), shared
     /// across requests so repeat runs restore warmed state in O(state).
     /// Keyed by the full point (not just the workload) because warm
     /// snapshots embed the BTB organization, budget and configuration.
     ladders: Mutex<HashMap<String, Arc<AnyWarmLadder>>>,
+    /// Live `/sim` deadline registrations, polled by the watch thread.
+    /// Weak: a finished request drops its flag and the entry self-prunes.
+    deadlines: Mutex<Vec<(Instant, Weak<AtomicBool>)>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
+    inflight: AtomicU64,
+    shed: AtomicU64,
+    deadline_aborts: AtomicU64,
+    resumed_points: AtomicU64,
+}
+
+/// RAII admission token: holds one in-flight slot for the duration of a
+/// `/sim` request, released on every exit path (panics included).
+struct InflightPermit<'a> {
+    state: &'a ServerState,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.state.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl ServerState {
@@ -118,6 +185,9 @@ impl ServerState {
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
+            resumed_points: self.resumed_points.load(Ordering::Relaxed),
             store: self.store.counters(),
         }
     }
@@ -127,12 +197,87 @@ impl ServerState {
             return None;
         }
         let key = point.cache_file();
-        let mut ladders = self.ladders.lock().unwrap();
-        Some(Arc::clone(
-            ladders
-                .entry(key)
-                .or_insert_with(|| Arc::new(AnyWarmLadder::new())),
-        ))
+        // Recover (not propagate) mutex poison: the map cannot be torn
+        // by a panicking holder — every critical section is a single
+        // entry lookup/insert — and refusing all future warm-state reuse
+        // because one request died would turn one failure into many.
+        let mut ladders = self.ladders.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = ladders
+            .entry(key)
+            .or_insert_with(|| Arc::new(AnyWarmLadder::new()));
+        // A ladder poisoned by a dead shard (deadline abort, simulation
+        // panic) fails every waiter by design; rebuild the entry so the
+        // next request warms fresh instead of inheriting the poison.
+        if entry.is_poisoned() {
+            *entry = Arc::new(AnyWarmLadder::new());
+        }
+        Some(Arc::clone(entry))
+    }
+
+    /// Drop a point's shared ladder after its computation panicked (it
+    /// may have been poisoned mid-warm).
+    fn evict_ladder(&self, point: &SimPoint) {
+        let mut ladders = self.ladders.lock().unwrap_or_else(|p| p.into_inner());
+        ladders.remove(&point.cache_file());
+    }
+
+    /// Try to take one `/sim` admission slot; `None` means the server is
+    /// at `max_inflight` and the request must be shed.
+    fn admit(&self) -> Option<InflightPermit<'_>> {
+        let limit = self.max_inflight as u64;
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if limit != 0 && current >= limit {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(InflightPermit { state: self }),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Arm a deadline for one request: the watch thread flips the
+    /// returned flag once [`ServerState::deadline`] elapses; the
+    /// simulation's driving loop polls it and unwinds with
+    /// [`ABORT_MARKER`]. `None` when no deadline is configured.
+    fn arm_deadline(&self) -> Option<Arc<AtomicBool>> {
+        let deadline = self.deadline?;
+        let flag = Arc::new(AtomicBool::new(false));
+        self.deadlines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((Instant::now() + deadline, Arc::downgrade(&flag)));
+        Some(flag)
+    }
+}
+
+/// The deadline watch loop: every tick, flip the abort flag of each
+/// expired registration and prune entries whose request already
+/// finished. Polling keeps the mechanism to one thread for any request
+/// volume; 25 ms of slack is noise against simulation runtimes.
+fn deadline_watch(state: &ServerState) {
+    const TICK: Duration = Duration::from_millis(25);
+    while !state.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(TICK);
+        let now = Instant::now();
+        let mut entries = state.deadlines.lock().unwrap_or_else(|p| p.into_inner());
+        entries.retain(|(due, flag)| match flag.upgrade() {
+            None => false,
+            Some(flag) => {
+                if now >= *due {
+                    flag.store(true, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            }
+        });
     }
 }
 
@@ -171,11 +316,22 @@ impl Server {
             store,
             shards: config.shards.max(1),
             shard_threads,
+            max_inflight: config.max_inflight,
+            deadline: config.deadline,
             ladders: Mutex::new(HashMap::new()),
+            deadlines: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_aborts: AtomicU64::new(0),
+            resumed_points: AtomicU64::new(0),
         });
+        if state.deadline.is_some() {
+            let watch = Arc::clone(&state);
+            std::thread::spawn(move || deadline_watch(&watch));
+        }
         let accept = std::thread::spawn(move || {
             let pool = ServicePool::new("serve", workers);
             for (i, stream) in listener.incoming().enumerate() {
@@ -285,14 +441,32 @@ fn route(
             Ok(())
         }
         ("POST", "/sim") => {
+            let Some(_permit) = state.admit() else {
+                // Load shedding: a fast, well-formed 429 with a retry
+                // hint — never an unbounded queue, never a reset. Shed
+                // before parsing the body; an overloaded server should
+                // spend nothing on work it will not run.
+                state.shed.fetch_add(1, Ordering::Relaxed);
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_json(
+                    stream,
+                    429,
+                    "{\"error\":\"overloaded: in-flight simulation limit reached\"}",
+                    Some(("Retry-After", "1")),
+                );
+                return Ok(());
+            };
             let point: SimPoint = serde_json::from_str(&request.body).map_err(|e| {
                 (
                     400,
                     format!("{{\"error\":{:?}}}", format!("bad SimPoint: {e}")),
                 )
             })?;
-            let (result, fetch) =
-                simulate(state, &point).map_err(|msg| (500, format!("{{\"error\":{msg:?}}}")))?;
+            let (result, fetch) = simulate(state, &point)
+                .map_err(|(status, msg)| (status, format!("{{\"error\":{msg:?}}}")))?;
+            if fetch == Fetch::Disk {
+                state.resumed_points.fetch_add(1, Ordering::Relaxed);
+            }
             let body = serde_json::to_string(&result).expect("results serialize");
             let cache_header = match fetch {
                 Fetch::Disk => "disk",
@@ -310,19 +484,42 @@ fn route(
 }
 
 /// Run (or fetch) one point through the store's single-flight path,
-/// converting simulation panics into an error message for a 500.
-fn simulate(state: &ServerState, point: &SimPoint) -> Result<(SimResult, Fetch), String> {
+/// converting failures into `(status, message)`: a deadline abort is a
+/// 503 (this request exceeded its budget; the server is healthy), any
+/// other panic or cache failure a 500.
+fn simulate(state: &ServerState, point: &SimPoint) -> Result<(SimResult, Fetch), (u16, String)> {
     let name = point.cache_file_for(state.shards);
     let ladder = state.ladder_for(point);
+    let abort = state.arm_deadline();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         state.store.get_or_compute(&name, false, || {
-            point.run_sharded_with(state.shards, state.shard_threads, ladder.as_deref())
+            point.run_sharded_abortable(
+                state.shards,
+                state.shard_threads,
+                ladder.as_deref(),
+                abort.clone(),
+            )
         })
     }));
     match outcome {
         Ok(Ok(hit)) => Ok(hit),
-        Ok(Err(e)) => Err(format!("cache: {e}")),
-        Err(payload) => Err(btbx_uarch::runner::panic_message(&*payload)),
+        Ok(Err(e)) => Err((500, format!("cache: {e}"))),
+        Err(payload) => {
+            // The panic may have poisoned this point's shared warm
+            // ladder mid-warm; evict it so the next request builds a
+            // fresh one instead of inheriting the poison.
+            state.evict_ladder(point);
+            let msg = btbx_uarch::runner::panic_message(&*payload);
+            if msg.contains(ABORT_MARKER) {
+                // Deadline abort (joiners of the same flight see the
+                // marker through the poisoned-flight payload and land
+                // here too). The connection is answered, never reset.
+                state.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+                Err((503, format!("deadline exceeded: aborted {name}")))
+            } else {
+                Err((500, msg))
+            }
+        }
     }
 }
 
@@ -392,6 +589,8 @@ fn respond_json(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let mut head = format!(
@@ -471,8 +670,10 @@ pub fn http_request_timeout(
         .trim_start_matches("http://")
         .trim_end_matches('/')
         .to_string();
-    // connect_timeout panics on a zero duration; clamp defensively.
-    let timeout = timeout.max(Duration::from_millis(1));
+    // connect_timeout panics on zero and a multi-day timeout is a unit
+    // bug, not a choice; every call site shares one clamp.
+    let timeout = sane_timeout(timeout);
+    faults::check_connect(&addr)?;
     // connect_timeout needs a resolved SocketAddr; take the first.
     let socket_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: no address"))
@@ -488,6 +689,7 @@ pub fn http_request_timeout(
         )
         .as_bytes(),
     )?;
+    faults::check_http_read(&addr)?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
@@ -546,6 +748,15 @@ pub fn http_request_timeout(
 /// the sweep's organizations) is refused up front, because its results
 /// would be silently incompatible with this client's cache.
 ///
+/// Requests shed by the server (429) are retried with a bounded backoff
+/// honouring its `Retry-After` hint, so a sweep overrunning a node's
+/// `--max-inflight` degrades to slower progress, not to failures.
+///
+/// Per-point progress is journalled exactly like the local path
+/// ([`Sweep::run`]); with `--resume` the journal reports how many points
+/// a previous (killed) invocation already published — the server's disk
+/// cache answers those instantly, so only incomplete points re-run.
+///
 /// # Errors
 ///
 /// [`ClusterError::Unreachable`]/[`ClusterError::CacheVersionMismatch`]
@@ -567,24 +778,61 @@ pub fn sweep_via_server(
     protocol::verify_orgs(addr, &info, &sweep.orgs)?;
 
     let points = sweep.points();
+    let names: Vec<String> = points
+        .iter()
+        .map(|p| p.cache_file_for(info.shards))
+        .collect();
+    let (journal, recovery) =
+        SweepJournal::open(&opts.out_dir, journal::sweep_key(&names), opts.resume).map_err(
+            |source| {
+                ClusterError::Store(StoreError::Io {
+                    action: "opening sweep journal",
+                    path: journal::journal_dir(&opts.out_dir),
+                    source,
+                })
+            },
+        )?;
+    if opts.resume {
+        let resumed = names
+            .iter()
+            .filter(|n| recovery.completed.contains(n.as_str()))
+            .count();
+        eprintln!(
+            "[{}] resume: {resumed}/{} point(s) already published (resumed_points={resumed})",
+            sweep.name,
+            names.len()
+        );
+    }
+    let journal_ref = &journal;
     let jobs: Vec<(String, _)> = points
         .into_iter()
-        .map(|point| {
+        .zip(names)
+        .map(|(point, name)| {
             let label = format!("{}:{}@server", point.workload.name, point.org.id());
+            let full_label = format!(
+                "{}:{}@{}",
+                point.workload.name,
+                point.org.id(),
+                point.budget
+            );
             let addr = addr.to_string();
-            let shards = info.shards;
             let job = move || -> Result<SimResult, PointError> {
-                protocol::post_point(&addr, &point, timeout).map_err(|error| PointError {
-                    node: addr.clone(),
-                    point: point.cache_file_for(shards),
-                    label: format!(
-                        "{}:{}@{}",
-                        point.workload.name,
-                        point.org.id(),
-                        point.budget
-                    ),
-                    error,
-                })
+                journal_ref.attempt(&name, &full_label);
+                match post_point_shedding_aware(&addr, &point, timeout) {
+                    Ok(result) => {
+                        journal_ref.done(&name);
+                        Ok(result)
+                    }
+                    Err(error) => {
+                        journal_ref.failed(&name, &error.to_string());
+                        Err(PointError {
+                            node: addr.clone(),
+                            point: name,
+                            label: full_label,
+                            error,
+                        })
+                    }
+                }
             };
             (label, job)
         })
@@ -600,7 +848,36 @@ pub fn sweep_via_server(
         }
     }
     if !failures.is_empty() {
+        // The journal stays on disk: a follow-up --resume re-dispatches
+        // exactly the recorded failures plus anything never attempted.
         return Err(ClusterError::Points(failures));
     }
+    journal.finish();
     Ok(results)
+}
+
+/// [`protocol::post_point`] plus shed handling: a 429 means the server
+/// chose to shed this request, so honour its `Retry-After` hint (capped
+/// at 2 s) and try again, long enough to outlast any plausible burst.
+/// Every other failure propagates unchanged.
+fn post_point_shedding_aware(
+    addr: &str,
+    point: &SimPoint,
+    timeout: Duration,
+) -> Result<SimResult, RequestError> {
+    const MAX_ATTEMPTS: u32 = 60;
+    let mut attempt = 0;
+    loop {
+        match protocol::post_point(addr, point, timeout) {
+            Err(RequestError::Status { status: 429, body }) if attempt < MAX_ATTEMPTS => {
+                attempt += 1;
+                let _ = body;
+                std::thread::sleep(
+                    sane_timeout(Duration::from_millis(100 * attempt as u64))
+                        .min(Duration::from_secs(2)),
+                );
+            }
+            other => return other,
+        }
+    }
 }

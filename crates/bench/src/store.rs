@@ -34,6 +34,7 @@
 //! complete or not at all) but not deduplicated — both processes compute
 //! and the second rename wins with byte-identical content.
 
+use btbx_core::faults;
 use btbx_uarch::SimResult;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -176,7 +177,7 @@ impl ResultStore {
     /// canonicalized.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
-        fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+        faults::create_dir_all(dir).map_err(|source| StoreError::Io {
             action: "creating cache dir",
             path: dir.to_path_buf(),
             source,
@@ -237,7 +238,7 @@ impl ResultStore {
     /// caller must hear about, not cache misses.
     pub fn load(&self, name: &str) -> Result<Option<SimResult>, StoreError> {
         let path = self.dir.join(name);
-        let text = match fs::read_to_string(&path) {
+        let text = match faults::read_to_string(&path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(source) => {
@@ -258,7 +259,7 @@ impl ResultStore {
                 // writer may have atomically replaced the damaged bytes
                 // with a clean entry since the read above — quarantining
                 // then would throw away a valid result.
-                if let Ok(second) = fs::read_to_string(&path) {
+                if let Ok(second) = faults::read_to_string(&path) {
                     if second != text {
                         if let Ok(result) = serde_json::from_str(&second) {
                             self.shared.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -282,7 +283,7 @@ impl ResultStore {
         let mut quarantine = path.as_os_str().to_owned();
         quarantine.push(".corrupt");
         let quarantine = PathBuf::from(quarantine);
-        let renamed = fs::rename(path, &quarantine);
+        let renamed = faults::rename(path, &quarantine);
         // Count per successful rename, not per first-log: a rename that
         // failed quarantined nothing, and an entry damaged again after a
         // clean rewrite is a new quarantine event even though its path
@@ -334,12 +335,18 @@ impl ResultStore {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, json).map_err(|source| StoreError::Io {
-            action: "writing cache temp file",
-            path: tmp.clone(),
-            source,
+        faults::write(&tmp, json.as_bytes()).map_err(|source| {
+            // A failed (possibly torn) temp write must not linger: the
+            // half-file is unreachable as an entry but would read as
+            // litter — and as a counterexample to "no half-entries".
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io {
+                action: "writing cache temp file",
+                path: tmp.clone(),
+                source,
+            }
         })?;
-        fs::rename(&tmp, &path).map_err(|source| {
+        faults::rename(&tmp, &path).map_err(|source| {
             let _ = fs::remove_file(&tmp);
             StoreError::Io {
                 action: "publishing cache entry",

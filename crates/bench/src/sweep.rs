@@ -39,6 +39,7 @@
 //! sweep racing a server — on one cache directory compute each unique
 //! point once and never observe torn entries.
 
+use crate::journal::{self, SweepJournal};
 use crate::opts::HarnessOpts;
 use crate::runner::run_named_jobs;
 use crate::store::ResultStore;
@@ -47,7 +48,10 @@ use btbx_core::OrgKind;
 use btbx_trace::suite::WorkloadSpec;
 use btbx_uarch::{AnyWarmLadder, ParallelSession, SimConfig, SimResult, SimSession};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Bump to invalidate every cached simulation (simulator semantics
 /// changed, stats gained fields, …).
@@ -136,12 +140,24 @@ impl SimPoint {
 
     /// Run the simulation for this point (no caching).
     pub fn run(&self) -> SimResult {
-        SimSession::new(self.source())
+        self.run_abortable(None)
+    }
+
+    /// [`run`](SimPoint::run) with an optional cooperative abort flag:
+    /// the simulation polls it and unwinds (with
+    /// [`btbx_uarch::sim::ABORT_MARKER`]) once it is set — how the serve
+    /// layer enforces per-request deadlines.
+    fn run_abortable(&self, abort: Option<Arc<AtomicBool>>) -> SimResult {
+        let mut session = SimSession::new(self.source())
             .btb_spec(self.btb_spec())
             .config(self.config.clone())
             .label(self.org.id())
             .warmup(self.warmup)
-            .measure(self.measure)
+            .measure(self.measure);
+        if let Some(flag) = abort {
+            session = session.abort(flag);
+        }
+        session
             .run()
             .unwrap_or_else(|e| panic!("sim point {}: {e}", self.cache_file()))
     }
@@ -166,8 +182,21 @@ impl SimPoint {
         threads: usize,
         warm: Option<&AnyWarmLadder>,
     ) -> SimResult {
+        self.run_sharded_abortable(shards, threads, warm, None)
+    }
+
+    /// [`run_sharded_with`](SimPoint::run_sharded_with) plus an optional
+    /// cooperative abort flag threaded into every shard (and the serial
+    /// fallback), so a deadline can stop a runaway simulation mid-run.
+    pub fn run_sharded_abortable(
+        &self,
+        shards: usize,
+        threads: usize,
+        warm: Option<&AnyWarmLadder>,
+        abort: Option<Arc<AtomicBool>>,
+    ) -> SimResult {
         if shards <= 1 {
-            return self.run();
+            return self.run_abortable(abort);
         }
         // Build the stream once; shards clone it (synthetic images are
         // Arc-shared so a walker clone is O(dynamic state); file-backed
@@ -184,6 +213,9 @@ impl SimPoint {
             .checkpoints(true);
         if let Some(warm) = warm {
             session = session.warm_ladder(warm);
+        }
+        if let Some(flag) = abort {
+            session = session.abort(flag);
         }
         session
             .run()
@@ -343,6 +375,15 @@ impl Sweep {
     /// budget splits between concurrent points and intra-point shard
     /// fan-out by [`HarnessOpts::pool_split`].
     ///
+    /// # Crash resumability
+    ///
+    /// Per-point progress is journalled (fsync'd, append-only) under
+    /// `<out>/cache/journal/` — see [`crate::journal`]. A sweep killed
+    /// mid-run leaves `done` records for exactly the points it durably
+    /// published; re-running with `--resume` re-dispatches only the
+    /// rest and reports the skipped count as `resumed_points=N`. The
+    /// journal is removed once the sweep completes.
+    ///
     /// # Panics
     ///
     /// Panics when the cache directory is unusable or a cache write
@@ -353,12 +394,17 @@ impl Sweep {
             .unwrap_or_else(|e| panic!("[{}] opening result cache: {e}", self.name));
         let points = self.points();
         let shards = opts.shards.max(1);
+        let names: Vec<String> = points.iter().map(|p| p.cache_file_for(shards)).collect();
+        let (journal, recovery) =
+            SweepJournal::open(&opts.out_dir, journal::sweep_key(&names), opts.resume)
+                .unwrap_or_else(|e| panic!("[{}] opening sweep journal: {e}", self.name));
         let (point_threads, shard_threads) = opts.pool_split();
         let mut results: Vec<Option<SimResult>> = Vec::with_capacity(points.len());
         let mut jobs = Vec::new();
         let mut misses: Vec<usize> = Vec::new();
+        let mut resumed = 0usize;
         for (i, point) in points.iter().enumerate() {
-            let name = point.cache_file_for(shards);
+            let name = names[i].clone();
             let cached = if opts.fresh {
                 None
             } else {
@@ -367,7 +413,15 @@ impl Sweep {
                     .unwrap_or_else(|e| panic!("[{}] {e}", self.name))
             };
             match cached {
-                Some(r) => results.push(Some(r)),
+                Some(r) => {
+                    // A journalled `done` whose entry vanished from the
+                    // store falls through to the miss path below, so a
+                    // resumed point is always backed by a real entry.
+                    if opts.resume && recovery.completed.contains(&name) {
+                        resumed += 1;
+                    }
+                    results.push(Some(r));
+                }
                 None => {
                     results.push(None);
                     misses.push(i);
@@ -379,26 +433,56 @@ impl Sweep {
                     );
                     let point = point.clone();
                     let store = &store;
+                    let journal = &journal;
                     let fresh = opts.fresh;
-                    jobs.push((label, move || {
-                        store
-                            .get_or_compute(&name, fresh, || {
-                                point.run_sharded(shards, shard_threads)
-                            })
-                            .unwrap_or_else(|e| panic!("caching {name}: {e}"))
-                            .0
+                    jobs.push((label.clone(), move || {
+                        journal.attempt(&name, &label);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            store
+                                .get_or_compute(&name, fresh, || {
+                                    point.run_sharded(shards, shard_threads)
+                                })
+                                .unwrap_or_else(|e| panic!("caching {name}: {e}"))
+                                .0
+                        }));
+                        match outcome {
+                            Ok(result) => {
+                                // Recorded only after get_or_compute
+                                // returned, i.e. after the entry is
+                                // durably published (or the incident
+                                // loudly counted as a store failure).
+                                journal.done(&name);
+                                result
+                            }
+                            Err(payload) => {
+                                journal
+                                    .failed(&name, &btbx_uarch::runner::panic_message(&*payload));
+                                resume_unwind(payload);
+                            }
+                        }
                     }));
                 }
             }
+        }
+        if opts.resume {
+            eprintln!(
+                "[{}] resume: {resumed} point(s) restored from the journal \
+                 (resumed_points={resumed})",
+                self.name
+            );
         }
         let hits = points.len() - misses.len();
         if hits > 0 {
             eprintln!("[{}] {hits}/{} cached", self.name, points.len());
         }
-        let fresh = run_named_jobs(&self.name, point_threads, jobs);
-        for (i, result) in misses.into_iter().zip(fresh) {
+        let computed = run_named_jobs(&self.name, point_threads, jobs);
+        for (i, result) in misses.into_iter().zip(computed) {
             results[i] = Some(result);
         }
+        // Every point resolved: the journal has served its purpose. (On
+        // a failed point run_named_jobs unwinds above and the journal
+        // survives for --resume.)
+        journal.finish();
         results
             .into_iter()
             .map(|r| r.expect("all points resolved"))
@@ -425,6 +509,8 @@ mod tests {
             shards: 1,
             trace: None,
             http_timeout_ms: 600_000,
+            resume: false,
+            fault_plan: None,
         }
     }
 
@@ -518,8 +604,12 @@ mod tests {
         assert_eq!(r3[0].stats.instructions, r1[0].stats.instructions);
         assert_eq!(r3[0].stats.cycles, r1[0].stats.cycles);
 
-        // Both windows' artifacts coexist in the cache directory.
-        let cache_files = fs::read_dir(opts.out_dir.join("cache")).unwrap().count();
+        // Both windows' artifacts coexist in the cache directory (the
+        // journal subdirectory is not an artifact).
+        let cache_files = fs::read_dir(opts.out_dir.join("cache"))
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().is_file())
+            .count();
         assert_eq!(cache_files, 2);
         let _ = fs::remove_dir_all(&opts.out_dir);
     }

@@ -23,6 +23,7 @@
 
 use crate::store::StoreError;
 use crate::sweep::CACHE_VERSION;
+use btbx_core::faults;
 use btbx_core::snap::{fnv64, seal, unseal, SnapError, SnapReader, SnapWriter};
 use btbx_trace::source::SeekableSource;
 use btbx_trace::AnySource;
@@ -52,7 +53,7 @@ impl WarmCache {
     /// [`StoreError::Io`] when the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+        faults::create_dir_all(&dir).map_err(|source| StoreError::Io {
             action: "creating warm cache dir",
             path: dir.clone(),
             source,
@@ -90,7 +91,7 @@ impl WarmCache {
         ladder: &AnyWarmLadder,
     ) -> Result<usize, StoreError> {
         let path = self.file_for(identity);
-        let bytes = match fs::read(&path) {
+        let bytes = match faults::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
             Err(source) => {
@@ -167,12 +168,15 @@ impl WarmCache {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, sealed).map_err(|source| StoreError::Io {
-            action: "writing warm cache temp file",
-            path: tmp.clone(),
-            source,
+        faults::write(&tmp, &sealed).map_err(|source| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io {
+                action: "writing warm cache temp file",
+                path: tmp.clone(),
+                source,
+            }
         })?;
-        fs::rename(&tmp, &path).map_err(|source| {
+        faults::rename(&tmp, &path).map_err(|source| {
             let _ = fs::remove_file(&tmp);
             StoreError::Io {
                 action: "publishing warm cache file",
@@ -218,7 +222,7 @@ fn parse(bytes: &[u8], identity: &str) -> Result<Vec<RawEntry>, SnapError> {
 fn quarantine(path: &Path, why: &SnapError) {
     let mut corrupt = path.as_os_str().to_owned();
     corrupt.push(".corrupt");
-    match fs::rename(path, PathBuf::from(corrupt)) {
+    match faults::rename(path, PathBuf::from(corrupt)) {
         Ok(()) => eprintln!(
             "[warm] damaged warm cache file {} ({why:?}); quarantined",
             path.display()

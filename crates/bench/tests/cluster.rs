@@ -34,6 +34,8 @@ fn opts(out_dir: &Path) -> HarnessOpts {
         shards: 1,
         trace: None,
         http_timeout_ms: 10_000,
+        resume: false,
+        fault_plan: None,
     }
 }
 

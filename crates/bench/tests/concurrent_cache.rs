@@ -6,15 +6,57 @@
 //! wrote entries with a bare `fs::write` (torn files under concurrency or
 //! crashes) and recomputed every point per run when racing.
 
-use btbx_bench::store::ResultStore;
+use btbx_bench::faults::{self, ErrKind, FaultOp, FaultPlan, FaultRule};
+use btbx_bench::store::{ResultStore, StoreError};
+use btbx_bench::warm::WarmCache;
 use btbx_bench::{HarnessOpts, Sweep};
+use btbx_core::spec::BtbSpec;
 use btbx_core::storage::BudgetPoint;
 use btbx_core::OrgKind;
 use btbx_trace::suite;
-use btbx_uarch::SimResult;
+use btbx_uarch::stats::SimStats;
+use btbx_uarch::{AnyWarmLadder, ParallelSession, SimConfig, SimResult};
 use std::fs;
+use std::io;
 use std::path::PathBuf;
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
+
+/// The armed fault plan is process-global; tests that arm one are
+/// serialized so they cannot replace each other's schedules. Rules are
+/// additionally path-scoped to each test's unique temp directory, so
+/// the non-fault tests in this binary are unaffected by an armed plan.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One fault rule scoped to `scope` (a unique temp-dir substring).
+fn rule(op: FaultOp, kind: ErrKind, scope: &str, nth: u64, count: u64) -> FaultRule {
+    FaultRule {
+        op,
+        kind,
+        path: scope.to_string(),
+        nth,
+        count,
+        delay_ms: 0,
+    }
+}
+
+/// A synthetic result for direct store calls (no simulation needed).
+fn canned_result(cycles: u64) -> SimResult {
+    SimResult {
+        workload: "fault".to_string(),
+        org: "conv".to_string(),
+        fdip_enabled: false,
+        btb_budget_bits: 1,
+        stats: SimStats {
+            cycles,
+            instructions: 1_000,
+            ..SimStats::default()
+        },
+    }
+}
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("btbx-conc-{tag}"));
@@ -33,6 +75,8 @@ fn opts(out_dir: &std::path::Path) -> HarnessOpts {
         shards: 1,
         trace: None,
         http_timeout_ms: 600_000,
+        resume: false,
+        fault_plan: None,
     }
 }
 
@@ -85,6 +129,10 @@ fn concurrent_sweeps_share_one_computation_per_point() {
     let mut entries = 0;
     for entry in fs::read_dir(out.join("cache")).unwrap() {
         let path = entry.unwrap().path();
+        // The sweep journal lives under cache/journal/ by design.
+        if path.is_dir() && path.file_name().is_some_and(|n| n == "journal") {
+            continue;
+        }
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         assert!(
             name.ends_with(".json"),
@@ -145,5 +193,219 @@ fn sweeps_racing_with_damaged_entries_recover() {
         .filter(|n| n.ends_with(".corrupt"))
         .collect();
     assert_eq!(corrupt.len(), 2, "both damaged entries quarantined");
+    let _ = fs::remove_dir_all(&out);
+}
+
+/// Every file currently in `dir` (names only), for litter assertions.
+fn dir_names(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn injected_enospc_fails_the_store_loudly_with_no_half_entries() {
+    let _serial = fault_lock();
+    let out = scratch("fault-enospc");
+    let cache = out.join("cache");
+    let store = ResultStore::open(&cache).unwrap();
+    // Writes 1 and 2 under this test's directory hit a full disk; the
+    // scope substring keeps every other test's I/O untouched.
+    let _guard = faults::arm(FaultPlan {
+        seed: 1,
+        rules: vec![rule(
+            FaultOp::Write,
+            ErrKind::Enospc,
+            "btbx-conc-fault-enospc",
+            1,
+            2,
+        )],
+    });
+
+    // A direct store fails loudly with the real error kind — never a
+    // silent recompute-forever degradation.
+    let err = store.store("a.json", &canned_result(1)).unwrap_err();
+    match &err {
+        StoreError::Io { source, .. } => {
+            assert_eq!(source.kind(), io::ErrorKind::StorageFull, "{err}");
+        }
+        other => panic!("expected Io, got {other}"),
+    }
+    // The failed temp write must not leave a half-entry behind.
+    assert_eq!(dir_names(&cache), Vec::<String>::new(), "no litter");
+
+    // Through the single-flight path the computed result is still
+    // served (joiners cannot be retroactively failed), the incident is
+    // counted, and nothing torn reaches the directory.
+    let (r, _) = store
+        .get_or_compute("a.json", true, || canned_result(2))
+        .unwrap();
+    assert_eq!(r.stats.cycles, 2);
+    assert_eq!(store.counters().store_failures, 1, "exactly one failure");
+    assert_eq!(dir_names(&cache), Vec::<String>::new(), "no litter");
+
+    // The plan is exhausted (count = 2): the next publish lands and the
+    // entry is complete and parseable.
+    store.store("a.json", &canned_result(3)).unwrap();
+    assert_eq!(store.load("a.json").unwrap().unwrap().stats.cycles, 3);
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn injected_rename_failure_is_loud_and_removes_the_temp_file() {
+    let _serial = fault_lock();
+    let out = scratch("fault-rename");
+    let cache = out.join("cache");
+    let store = ResultStore::open(&cache).unwrap();
+    let guard = faults::arm(FaultPlan {
+        seed: 2,
+        rules: vec![rule(
+            FaultOp::Rename,
+            ErrKind::RenameFail,
+            "btbx-conc-fault-rename",
+            1,
+            1,
+        )],
+    });
+
+    // The temp write succeeds but the publishing rename never lands:
+    // the caller hears about it and the orphaned temp file is removed.
+    let err = store.store("a.json", &canned_result(4)).unwrap_err();
+    match &err {
+        StoreError::Io { action, source, .. } => {
+            assert_eq!(*action, "publishing cache entry");
+            assert_eq!(source.kind(), io::ErrorKind::PermissionDenied, "{err}");
+        }
+        other => panic!("expected Io, got {other}"),
+    }
+    assert_eq!(dir_names(&cache), Vec::<String>::new(), "no temp litter");
+
+    drop(guard);
+    store.store("a.json", &canned_result(5)).unwrap();
+    assert_eq!(store.load("a.json").unwrap().unwrap().stats.cycles, 5);
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn quarantine_counters_are_exact_when_the_quarantine_rename_is_injected() {
+    let _serial = fault_lock();
+    let out = scratch("fault-quarantine");
+    let cache = out.join("cache");
+    let store = ResultStore::open(&cache).unwrap();
+    fs::write(cache.join("a.json"), "not json at all").unwrap();
+
+    // While the quarantine rename itself fails, nothing was
+    // quarantined: the counter must stay at zero and the damage must
+    // stay in place for the next attempt.
+    let guard = faults::arm(FaultPlan {
+        seed: 3,
+        rules: vec![rule(
+            FaultOp::Rename,
+            ErrKind::RenameFail,
+            "btbx-conc-fault-quarantine",
+            1,
+            1,
+        )],
+    });
+    assert!(store.load("a.json").unwrap().is_none(), "damaged is a miss");
+    assert_eq!(
+        store.counters().quarantined,
+        0,
+        "a failed quarantine rename quarantined nothing"
+    );
+    assert!(cache.join("a.json").exists(), "damage stays put");
+
+    // Once the injected failure clears, the same damage quarantines
+    // exactly once.
+    drop(guard);
+    assert!(store.load("a.json").unwrap().is_none());
+    assert_eq!(store.counters().quarantined, 1, "exactly one quarantine");
+    assert!(cache.join("a.json.corrupt").exists());
+    assert!(!cache.join("a.json").exists());
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn warm_cache_surfaces_injected_publish_failures_without_litter() {
+    // Build a small real ladder (the warm cache refuses to persist an
+    // empty one).
+    let workload = suite::ipc1_client().into_iter().next().unwrap();
+    let proto = workload.build_source().unwrap();
+    let ladder = AnyWarmLadder::new();
+    {
+        let proto = proto.clone();
+        ParallelSession::new(move || proto.clone(), BtbSpec::of(OrgKind::Conv))
+            .config(SimConfig::without_fdip())
+            .warmup(4_000)
+            .measure(12_000)
+            .shards(3)
+            .warm_ladder(&ladder)
+            .run()
+            .unwrap();
+    }
+    assert!(!ladder.is_empty());
+
+    let _serial = fault_lock();
+    let out = scratch("fault-warm");
+    let warm_dir = out.join("cache").join("warm");
+    let cache = WarmCache::open(&warm_dir).unwrap();
+
+    // ENOSPC on the temp write: loud failure, no half-written snapshot.
+    let guard = faults::arm(FaultPlan {
+        seed: 4,
+        rules: vec![rule(
+            FaultOp::Write,
+            ErrKind::Enospc,
+            "btbx-conc-fault-warm",
+            1,
+            1,
+        )],
+    });
+    let err = cache.store(&ladder).unwrap_err();
+    match &err {
+        StoreError::Io { source, .. } => {
+            assert_eq!(source.kind(), io::ErrorKind::StorageFull, "{err}");
+        }
+        other => panic!("expected Io, got {other}"),
+    }
+    assert_eq!(dir_names(&warm_dir), Vec::<String>::new(), "no litter");
+    drop(guard);
+
+    // A clean publish, then an injected rename failure on the replace:
+    // the previous complete file survives and no temp file lingers.
+    let stored = cache.store(&ladder).unwrap();
+    assert_eq!(stored, ladder.len());
+    let published = dir_names(&warm_dir);
+    assert_eq!(published.len(), 1, "one complete snapshot file");
+
+    let guard = faults::arm(FaultPlan {
+        seed: 5,
+        rules: vec![rule(
+            FaultOp::Rename,
+            ErrKind::RenameFail,
+            "btbx-conc-fault-warm",
+            1,
+            1,
+        )],
+    });
+    let err = cache.store(&ladder).unwrap_err();
+    match &err {
+        StoreError::Io { action, .. } => assert_eq!(*action, "publishing warm cache file"),
+        other => panic!("expected Io, got {other}"),
+    }
+    drop(guard);
+    assert_eq!(
+        dir_names(&warm_dir),
+        published,
+        "the complete file survives, the failed replace leaves no temp"
+    );
+    // The surviving file still loads.
+    let fresh = AnyWarmLadder::new();
+    let identity = ladder.identity().unwrap();
+    let loaded = cache.load(&identity, &proto, &fresh).unwrap();
+    assert_eq!(loaded, stored);
     let _ = fs::remove_dir_all(&out);
 }

@@ -25,6 +25,8 @@ fn start(tag: &str, shards: usize) -> (Server, PathBuf) {
         cache_dir: out.join("cache"),
         threads: 4,
         shards,
+        max_inflight: 0,
+        deadline: None,
     })
     .expect("server starts");
     (server, out)
@@ -175,6 +177,8 @@ fn served_results_are_byte_identical_to_the_serial_cli_path() {
         shards: 1,
         trace: None,
         http_timeout_ms: 600_000,
+        resume: false,
+        fault_plan: None,
     });
 
     // Same points through a fresh server (separate cache).
@@ -218,6 +222,8 @@ fn sweep_via_server_matches_local_sweep_order_and_results() {
         shards: 1,
         trace: None,
         http_timeout_ms: 600_000,
+        resume: false,
+        fault_plan: None,
     };
     let local = sweep.run(&opts);
     let remote =

@@ -62,6 +62,7 @@ pub mod btb;
 pub mod conv;
 pub mod engine;
 pub mod factory;
+pub mod faults;
 pub mod hash;
 pub mod hooger;
 pub mod infinite;

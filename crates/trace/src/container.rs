@@ -57,6 +57,7 @@
 use crate::packed::{PackedInstr, KIND_ESCAPE, KIND_SHIFT};
 use crate::record::{MemAccess, Op, TraceInstr};
 use crate::source::{SeekableSource, TraceSource};
+use btbx_core::faults;
 use btbx_core::types::{Arch, BranchClass, BranchEvent};
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -250,7 +251,9 @@ struct IndexEntry {
 pub struct ContainerWriter<W: Write + Seek> {
     out: W,
     arch: Arch,
-    name_len: u16,
+    /// Stream name; also the fault-seam site for this sink, which writes
+    /// through a generic `Write + Seek` and has no filesystem path.
+    name: String,
     lo: Vec<u64>,
     hi: Vec<u64>,
     index: Vec<IndexEntry>,
@@ -280,7 +283,7 @@ impl<W: Write + Seek> ContainerWriter<W> {
         Ok(ContainerWriter {
             out,
             arch,
-            name_len: name.len() as u16,
+            name: name.to_string(),
             lo: Vec::with_capacity(BLOCK_EVENTS),
             hi: Vec::with_capacity(BLOCK_EVENTS),
             index: Vec::new(),
@@ -325,6 +328,7 @@ impl<W: Write + Seek> ContainerWriter<W> {
         if self.lo.is_empty() {
             return Ok(());
         }
+        faults::check_write(&self.name)?;
         let events = self.lo.len() as u32;
         self.index.push(IndexEntry {
             start_instr: self.total - events as u64,
@@ -347,6 +351,7 @@ impl<W: Write + Seek> ContainerWriter<W> {
     /// rejected as `InvalidInput` (that is > 17 × 10¹² events).
     pub fn finish(mut self) -> io::Result<ContainerSummary> {
         self.flush_block()?;
+        faults::check_write(&self.name)?;
         if self.index.len() > u32::MAX as usize {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -375,7 +380,7 @@ impl<W: Write + Seek> ContainerWriter<W> {
         header[32..40].copy_from_slice(&self.hash.0.to_le_bytes());
         header[40..48].copy_from_slice(&index_offset.to_le_bytes());
         header[48..56].copy_from_slice(&escape_offset.to_le_bytes());
-        header[56..58].copy_from_slice(&self.name_len.to_le_bytes());
+        header[56..58].copy_from_slice(&(self.name.len() as u16).to_le_bytes());
         self.out.seek(SeekFrom::Start(0))?;
         self.out.write_all(&header)?;
         self.out.flush()?;
@@ -421,7 +426,7 @@ pub fn write_container<W: Write + Seek, S: TraceSource + ?Sized>(
 /// [`ContainerError`] when the file is unreadable or not a valid
 /// container.
 pub fn read_info(path: &Path) -> Result<ContainerInfo, ContainerError> {
-    let mut file = File::open(path)?;
+    let mut file = faults::open(path)?;
     read_header(&mut file).map(|(info, _, _)| info)
 }
 
@@ -501,7 +506,7 @@ impl PackedFileSource {
     /// [`ContainerError`] when the file is unreadable, not a container,
     /// or structurally inconsistent.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, ContainerError> {
-        let mut file = File::open(path.as_ref())?;
+        let mut file = faults::open(path.as_ref())?;
         let (info, index_offset, escape_offset) = read_header(&mut file)?;
 
         file.seek(SeekFrom::Start(escape_offset))?;
@@ -579,6 +584,7 @@ impl PackedFileSource {
         let entry = self.index[block];
         let n = entry.events as usize;
         let mut payload = vec![0u8; n * 16];
+        faults::check_read(&self.info.name).expect("reading a mapped container block");
         {
             let mut file = self.file.lock().unwrap();
             file.seek(SeekFrom::Start(entry.byte_offset))

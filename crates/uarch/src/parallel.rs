@@ -96,6 +96,7 @@ use btbx_trace::record::TraceInstr;
 use btbx_trace::source::SeekableSource;
 use btbx_trace::TraceSource;
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -331,6 +332,17 @@ impl<C: Clone> WarmLadder<C> {
         self.ready.notify_all();
     }
 
+    /// Whether a producing shard died and poisoned the ladder. A
+    /// poisoned ladder panics every waiter, so long-lived owners (the
+    /// serve layer's per-point ladder map) check this to replace the
+    /// entry instead of handing the poison to the next request.
+    pub fn is_poisoned(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .poisoned
+    }
+
     /// All entries in key order (persistence walks these).
     pub fn entries(&self) -> Vec<(u64, WarmEntry<C>)> {
         let state = self.state.lock().unwrap();
@@ -495,6 +507,7 @@ pub struct ParallelSession<'l, S: SeekableSource, F> {
     ladder: Option<&'l CheckpointLadder<S::Checkpoint>>,
     checkpoint_mode: bool,
     warm: Option<&'l WarmLadder<S::Checkpoint>>,
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl<'l, S, F> ParallelSession<'l, S, F>
@@ -525,6 +538,7 @@ where
             ladder: None,
             checkpoint_mode: false,
             warm: None,
+            abort: None,
         }
     }
 
@@ -612,6 +626,15 @@ where
         self
     }
 
+    /// Attach a cooperative cancellation flag shared by every shard: once
+    /// it turns true, each shard panics with
+    /// [`crate::sim::ABORT_MARKER`] at its next poll boundary and the run
+    /// fails as a whole. Services use this for per-request deadlines.
+    pub fn abort(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.abort = Some(flag);
+        self
+    }
+
     /// Run every shard and merge.
     ///
     /// # Errors
@@ -645,6 +668,9 @@ where
                 .measure(self.measure);
             if let Some(l) = &self.label {
                 session = session.label(l.clone());
+            }
+            if let Some(a) = &self.abort {
+                session = session.abort(Arc::clone(a));
             }
             let result = session
                 .every(interval.unwrap_or(self.measure).min(self.measure), |iv| {
@@ -707,6 +733,7 @@ where
         let label = &self.label;
         let factory = &self.factory;
         let boundaries = &boundaries;
+        let abort = &self.abort;
         let jobs: Vec<(String, _)> = plans
             .into_iter()
             .enumerate()
@@ -735,6 +762,9 @@ where
                         .measure(plan.measure);
                     if let Some(l) = label {
                         session = session.label(l.clone());
+                    }
+                    if let Some(a) = abort {
+                        session = session.abort(Arc::clone(a));
                     }
                     let result = session
                         .every(interval.unwrap_or(plan.measure).min(plan.measure), |iv| {
@@ -797,6 +827,7 @@ where
         let config = &self.config;
         let label = &self.label;
         let factory = &self.factory;
+        let abort = &self.abort;
         let jobs: Vec<(String, _)> = (0..shards)
             .map(|i| {
                 let job = move || {
@@ -831,6 +862,9 @@ where
                             source.restore(&e.checkpoint);
                             let mut sim =
                                 Simulator::new(config.clone(), source, bpu, org, spec.bits());
+                            if let Some(a) = abort {
+                                sim.set_abort(Arc::clone(a));
+                            }
                             restore_sealed(&mut sim, &identity, &e.snapshot).unwrap_or_else(
                                 |err| panic!("warm snapshot restore failed at key {key}: {err}"),
                             );
@@ -840,6 +874,9 @@ where
                         None => {
                             let mut sim =
                                 Simulator::new(config.clone(), source, bpu, org, spec.bits());
+                            if let Some(a) = abort {
+                                sim.set_abort(Arc::clone(a));
+                            }
                             sim.run_until_committed(warmup);
                             warmed_instructions = sim.committed();
                             let base = sim.committed();

@@ -32,6 +32,8 @@ use crate::stats::SimResult;
 use btbx_core::spec::{BtbSpec, SpecError};
 use btbx_core::Btb;
 use btbx_trace::TraceSource;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// A statistics snapshot streamed after every measurement interval.
 ///
@@ -145,6 +147,7 @@ pub struct SimSession<'a, S, B: Btb = Box<dyn Btb>> {
     measure: u64,
     label: Option<String>,
     observer: Option<Observer<'a>>,
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl<'a, S: TraceSource> SimSession<'a, S> {
@@ -158,6 +161,7 @@ impl<'a, S: TraceSource> SimSession<'a, S> {
             measure: u64::MAX,
             label: None,
             observer: None,
+            abort: None,
         }
     }
 }
@@ -182,6 +186,7 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
             measure: self.measure,
             label: self.label,
             observer: self.observer,
+            abort: self.abort,
         }
     }
 
@@ -233,6 +238,14 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
         self
     }
 
+    /// Attach a cooperative cancellation flag: once it turns true, the
+    /// run panics with [`crate::sim::ABORT_MARKER`] instead of ticking to
+    /// completion. Services use this to bound runaway requests.
+    pub fn abort(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.abort = Some(flag);
+        self
+    }
+
     /// Run the simulation.
     ///
     /// # Errors
@@ -255,6 +268,7 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
                 self.warmup,
                 self.measure,
                 self.observer,
+                self.abort,
             )),
             BtbSource::Spec(spec) => {
                 // Static dispatch: the engine monomorphizes the hot path.
@@ -268,6 +282,7 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
                     self.warmup,
                     self.measure,
                     self.observer,
+                    self.abort,
                 ))
             }
         }
@@ -285,9 +300,13 @@ fn run_with<S: TraceSource, B: Btb>(
     warmup: u64,
     measure: u64,
     mut observer: Option<Observer<'_>>,
+    abort: Option<Arc<AtomicBool>>,
 ) -> SimResult {
     let bpu = Bpu::new(btb, config.ras_entries, config.decode_resteer);
-    let sim = Simulator::new(config, trace, bpu, label, budget_bits);
+    let mut sim = Simulator::new(config, trace, bpu, label, budget_bits);
+    if let Some(flag) = abort {
+        sim.set_abort(flag);
+    }
     let interval = observer.as_ref().map(|(n, _)| *n);
     let mut result = sim.run_observed(warmup, measure, interval, &mut |iv| {
         if let Some((_, cb)) = observer.as_mut() {

@@ -25,6 +25,8 @@ use btbx_trace::packed::PackedBuf;
 use btbx_trace::record::{MemAccess, Op, TraceInstr};
 use btbx_trace::TraceSource;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Events per trace block pulled from the source in one refill. The
 /// prediction stage consumes from this staging buffer instead of calling
@@ -36,6 +38,17 @@ pub const EVENT_BLOCK_EVENTS: usize = 256;
 /// ([`EVENT_BLOCK_EVENTS`] packed 16-byte events) — O(1) in the window
 /// length, reported by `btbx bench` as the peak per-shard buffer cost.
 pub const EVENT_BLOCK_BYTES: u64 = EVENT_BLOCK_EVENTS as u64 * 16;
+
+/// Panic message used when a run is cancelled through an abort flag
+/// ([`Simulator::set_abort`]). Callers that catch simulation panics
+/// (the result store, `btbx serve`) match on this marker to distinguish
+/// a deliberate deadline abort from a genuine simulator failure.
+pub const ABORT_MARKER: &str = "btbx: simulation aborted";
+
+/// Ticks between abort-flag polls: rare enough that the atomic load is
+/// invisible in the hot loop, frequent enough that an abort lands within
+/// microseconds of the flag flipping.
+const ABORT_POLL_MASK: u32 = (1 << 12) - 1;
 
 #[derive(Debug, Clone, Copy)]
 struct RobEntry {
@@ -87,6 +100,10 @@ pub struct Simulator<S, B: btbx_core::Btb = Box<dyn btbx_core::Btb>> {
     rob_full_cycles: u64,
     org_id: String,
     budget_bits: u64,
+    /// Cooperative cancellation: when set and flipped true, the driving
+    /// loops panic with [`ABORT_MARKER`] at the next poll boundary.
+    abort: Option<Arc<AtomicBool>>,
+    abort_poll: u32,
 }
 
 impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
@@ -128,6 +145,25 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
             rob_full_cycles: 0,
             org_id: org_id.into(),
             budget_bits,
+            abort: None,
+            abort_poll: 0,
+        }
+    }
+
+    /// Attach a cancellation flag: once `flag` turns true, the driving
+    /// loops panic with [`ABORT_MARKER`] within [`ABORT_POLL_MASK`] + 1
+    /// ticks. Used by `btbx serve` to enforce per-request deadlines.
+    pub fn set_abort(&mut self, flag: Arc<AtomicBool>) {
+        self.abort = Some(flag);
+    }
+
+    /// Check the abort flag on a sparse tick schedule.
+    #[inline]
+    fn poll_abort(&mut self) {
+        let Some(flag) = &self.abort else { return };
+        self.abort_poll = self.abort_poll.wrapping_add(1);
+        if self.abort_poll & ABORT_POLL_MASK == 0 && flag.load(Ordering::Relaxed) {
+            panic!("{ABORT_MARKER}");
         }
     }
 
@@ -164,6 +200,7 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
     pub fn run_until_committed(&mut self, target: u64) {
         while self.committed < target && !self.finished() {
             self.tick();
+            self.poll_abort();
         }
     }
 
@@ -226,6 +263,7 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
         };
         while self.committed < target && !self.finished() {
             self.tick();
+            self.poll_abort();
             if self.committed - self.measure_start_committed >= next_boundary {
                 (emitted_instr, emitted_cycles) = emit(self, index, emitted_instr, emitted_cycles);
                 index += 1;
