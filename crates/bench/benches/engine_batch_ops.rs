@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks for [`EngineBank`] fan-out: the marginal
+//! per-engine cost of probing and training K engines through
+//! `lookup_all`/`update_all` versus driving one engine directly. The
+//! batched sweep executor amortizes trace decode across a bank of
+//! org×budget lanes; these numbers bound how much of that amortization
+//! the fan-out layer itself gives back. Reported per-element (`K`
+//! lookups per iteration), so a flat line across bank sizes means the
+//! bank adds no overhead beyond the engines it holds.
+
+use btbx_core::spec::BtbSpec;
+use btbx_core::storage::BudgetPoint;
+use btbx_core::types::{Arch, BranchClass, BranchEvent};
+use btbx_core::{BtbEngine, EngineBank, OrgKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn branch_stream(n: usize) -> Vec<BranchEvent> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            let pc = rng.gen_range(0x10_0000u64..0x40_0000) & !3;
+            let dist = 4u64 << rng.gen_range(0..18);
+            let class = match rng.gen_range(0..10) {
+                0..=5 => BranchClass::CondDirect,
+                6..=7 => BranchClass::CallDirect,
+                8 => BranchClass::Return,
+                _ => BranchClass::UncondDirect,
+            };
+            BranchEvent::taken(pc, pc + dist, class)
+        })
+        .collect()
+}
+
+/// A bank of `k` lanes cycling through the evaluated organizations and
+/// budget tiers — the mix a real batched sweep group holds.
+fn bank(k: usize) -> EngineBank {
+    const BUDGETS: [BudgetPoint; 3] = [BudgetPoint::Kb1_8, BudgetPoint::Kb3_6, BudgetPoint::Kb14_5];
+    let specs: Vec<BtbSpec> = (0..k)
+        .map(|i| {
+            BtbSpec::of(OrgKind::PAPER_EVAL[i % OrgKind::PAPER_EVAL.len()])
+                .at(BUDGETS[(i / OrgKind::PAPER_EVAL.len()) % BUDGETS.len()])
+        })
+        .collect();
+    EngineBank::from_specs(&specs).expect("bench specs are valid")
+}
+
+fn bench_bank_lookup(c: &mut Criterion) {
+    let stream = branch_stream(4096);
+    let mut group = c.benchmark_group("bank_lookup");
+    // Single-engine baseline: what one lane pays without the bank.
+    let mut solo = BtbEngine::build(
+        OrgKind::BtbX,
+        BudgetPoint::Kb14_5.bits(Arch::Arm64),
+        Arch::Arm64,
+    );
+    for ev in &stream {
+        solo.update(ev);
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("solo", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let ev = &stream[i & 4095];
+            i += 1;
+            black_box(solo.lookup(black_box(ev.pc)))
+        });
+    });
+    for k in [3usize, 9, 18] {
+        let mut engines = bank(k);
+        for ev in &stream {
+            engines.update_all(ev);
+        }
+        let mut hits = Vec::with_capacity(k);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_function(format!("bank{k}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ev = &stream[i & 4095];
+                i += 1;
+                engines.lookup_all(black_box(ev.pc), &mut hits);
+                black_box(hits.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bank_update(c: &mut Criterion) {
+    let stream = branch_stream(4096);
+    let mut group = c.benchmark_group("bank_update");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("solo", |b| {
+        let mut solo = BtbEngine::build(
+            OrgKind::BtbX,
+            BudgetPoint::Kb14_5.bits(Arch::Arm64),
+            Arch::Arm64,
+        );
+        let mut i = 0;
+        b.iter(|| {
+            let ev = &stream[i & 4095];
+            i += 1;
+            solo.update(black_box(ev));
+        });
+    });
+    for k in [3usize, 9, 18] {
+        let mut engines = bank(k);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_function(format!("bank{k}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ev = &stream[i & 4095];
+                i += 1;
+                engines.update_all(black_box(ev));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bank_lookup, bench_bank_update
+}
+criterion_main!(benches);

@@ -40,6 +40,13 @@ pub struct HarnessOpts {
     /// records as done (and whose cache entries exist) are skipped, and
     /// only incomplete points are re-dispatched.
     pub resume: bool,
+    /// Batch cache-missing sweep points that share a (workload, windows,
+    /// config) group into one trace traversal (`btbx_uarch::batch`).
+    /// Batched results are bit-identical to per-point runs and publish
+    /// under the same cache keys; `--no-batch` forces the per-point path
+    /// (reference oracle, and the baseline side of `btbx bench`'s
+    /// batched-throughput gate).
+    pub batch: bool,
     /// Arm this JSON fault plan (a `btbx_bench::faults::FaultPlan`) for
     /// the whole run — chaos testing only.
     pub fault_plan: Option<PathBuf>,
@@ -65,6 +72,7 @@ impl Default for HarnessOpts {
             trace: None,
             http_timeout_ms: DEFAULT_HTTP_TIMEOUT_MS,
             resume: false,
+            batch: true,
             fault_plan: None,
         }
     }
@@ -125,6 +133,9 @@ options:
   --resume           resume a crashed sweep from its journal
                      (<out>/cache/journal/), re-dispatching only
                      incomplete points
+  --no-batch         run sweep points one at a time instead of batching
+                     same-workload points into one trace traversal
+                     (results are bit-identical either way)
   --fault-plan FILE  arm a JSON fault-injection plan for the run
                      (chaos testing; see EXPERIMENTS.md)
   --out DIR          artifact + cache directory            [results]
@@ -167,6 +178,7 @@ impl HarnessOpts {
                 }
                 "--fresh" => opts.fresh = true,
                 "--resume" => opts.resume = true,
+                "--no-batch" => opts.batch = false,
                 "--fault-plan" => {
                     let file = it.next().ok_or(OptError::BadValue {
                         flag: "--fault-plan".to_string(),
@@ -211,6 +223,16 @@ impl HarnessOpts {
     /// finishes sooner).
     pub fn pool_split(&self) -> (usize, usize) {
         pool_split(self.threads, self.shards)
+    }
+
+    /// [`pool_split`](Self::pool_split) for a run with a known number of
+    /// dispatchable `jobs`, each parallelizable up to `width` — see
+    /// [`pool_split_for`]. Batched sweeps pass their batch-group count:
+    /// one batched traversal replaces N points, so point-level
+    /// parallelism must key on groups, not raw points, or the pool
+    /// oversubscribes with workers that have nothing to run.
+    pub fn pool_split_for(&self, width: usize, jobs: usize) -> (usize, usize) {
+        pool_split_for(self.threads, width, jobs)
     }
 
     /// The HTTP client timeout as a [`std::time::Duration`], clamped to
@@ -265,6 +287,29 @@ pub fn pool_split(threads: usize, shards: usize) -> (usize, usize) {
     // utilization (threads/s)·s, breaking ties toward larger s.
     (1..=shards.min(threads))
         .map(|s| (threads / s, s))
+        .max_by_key(|&(p, s)| (p * s, s))
+        .expect("candidate range is non-empty")
+}
+
+/// [`pool_split`] generalized to a run with `jobs` dispatchable units
+/// (batch groups, or points when unbatched), each parallelizable up to
+/// `width` threads (shard count for a sharded point, lane count for a
+/// batched group). Point-level workers beyond `jobs` never receive work,
+/// so the budget they would have held is released to the per-job fan-out
+/// instead; fan-out beyond `width` is likewise wasted and released to
+/// job-level concurrency. Ties still prefer the wider fan-out (fewer
+/// jobs in flight → fewer live event windows → less peak memory).
+///
+/// `jobs == 0` degenerates to [`pool_split`] (an all-cache-hit sweep
+/// dispatches nothing; the split is moot but must stay well-formed).
+pub fn pool_split_for(threads: usize, width: usize, jobs: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let width = width.max(1);
+    if jobs == 0 {
+        return pool_split(threads, width);
+    }
+    (1..=jobs.min(threads))
+        .map(|p| (p, (threads / p).min(width)))
         .max_by_key(|&(p, s)| (p * s, s))
         .expect("candidate range is non-empty")
 }
@@ -421,6 +466,46 @@ mod tests {
         assert_eq!(pool_split(1, 8), (1, 1));
         assert_eq!(pool_split(8, 4), (2, 4), "exact divisor prefers wide");
         assert_eq!(pool_split(0, 0), (1, 1), "zeroes clamp to one worker");
+    }
+
+    #[test]
+    fn no_batch_flag() {
+        assert!(parse(&[]).unwrap().batch, "batching is the default");
+        assert!(!parse(&["--no-batch"]).unwrap().batch);
+    }
+
+    #[test]
+    fn pool_split_for_keys_on_jobs_not_points() {
+        // One batch group replacing 18 points: all threads go to the
+        // group's lane fan-out instead of 17 idle point workers.
+        assert_eq!(pool_split_for(8, 18, 1), (1, 8));
+        // Two groups of 9 lanes on 8 threads: the tie prefers one live
+        // group with full fan-out (fewer materialized windows).
+        assert_eq!(pool_split_for(8, 9, 2), (1, 8));
+        // Unbatched sharded points behave like pool_split when jobs are
+        // plentiful...
+        assert_eq!(pool_split_for(8, 4, 100), pool_split(8, 4));
+        assert_eq!(pool_split_for(6, 4, 100), pool_split(6, 4));
+        // ...and release the shard budget when they are not.
+        assert_eq!(pool_split_for(8, 4, 1), (1, 4));
+        // Serial points (width 1) never oversubscribe the fan-out side.
+        assert_eq!(pool_split_for(4, 1, 100), (4, 1));
+        assert_eq!(pool_split_for(4, 1, 2), (2, 1));
+        // Zero jobs (all cache hits) stays well-formed.
+        assert_eq!(pool_split_for(4, 2, 0), pool_split(4, 2));
+        for threads in 1..=16 {
+            for width in 1..=9 {
+                for jobs in 0..=20 {
+                    let (p, s) = pool_split_for(threads, width, jobs);
+                    assert!(p >= 1 && s >= 1);
+                    assert!(p * s <= threads.max(1), "{threads}/{width}/{jobs}");
+                    if jobs > 0 {
+                        assert!(p <= jobs, "{p} workers for {jobs} jobs");
+                        assert!(s <= width.max(1), "{s} fan-out for width {width}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,19 @@
 //!   [`check_exactness`]) — the CI gate that keeps the sharded-accuracy
 //!   gap closed.
 //!
+//! Since schema v5 the report additionally measures the **batched sweep
+//! matrix** ([`BatchedPass`]): the paper-evaluation org×budget×FDIP lane
+//! matrix run once per-point (the serial sweep path) and once through
+//! [`btbx_uarch::BatchSession`] over a single materialized event window
+//! (the batched sweep path), both on one thread so the ratio isolates
+//! what batching amortizes (trace decode, event staging, inert-cycle
+//! fast-forward) rather than thread-level parallelism. The run *fails*
+//! when the batched lanes are not bit-identical to the per-point runs or
+//! when the speedup falls below [`BATCH_SPEEDUP_FLOOR`]
+//! ([`check_batched`]). Both passes also land as `matrix/per-point` and
+//! `matrix/batched` [`BenchEntry`] rows, so the baseline regression gate
+//! covers batched throughput with no extra machinery.
+//!
 //! Events/sec counts *measured* instructions only: the serial runs pay
 //! the full warm-up prefix, the sharded runs restore warmed
 //! microarchitectural snapshots from a per-org
@@ -48,13 +61,15 @@
 use crate::opts::HarnessOpts;
 use crate::report::write_artifact;
 use crate::warm::WarmCache;
+use btbx_core::storage::BudgetPoint;
 use btbx_core::OrgKind;
 use btbx_trace::container::write_container;
 use btbx_trace::source::TraceSource;
 use btbx_trace::suite::WorkloadSpec;
 use btbx_trace::{suite, AnySource, PackedFileSource};
+use btbx_uarch::batch::{lookahead_slack, BatchLane, BatchStream};
 use btbx_uarch::sim::EVENT_BLOCK_BYTES;
-use btbx_uarch::{warm_identity, AnyWarmLadder, ParallelSession, SimConfig, SimSession};
+use btbx_uarch::{warm_identity, AnyWarmLadder, ParallelSession, SimConfig, SimResult, SimSession};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
@@ -71,6 +86,18 @@ pub const REGRESSION_TOLERANCE: f64 = 0.25;
 /// shards in O(shards); a reintroduced serial generation or
 /// materialization pass lands in exactly this bucket and trips the gate.
 pub const SETUP_SHARE_LIMIT: f64 = 0.15;
+/// Minimum tolerated batched-over-per-point speedup on the lane matrix
+/// before the bench fails. Single-threaded batching amortizes trace
+/// decode, event staging and inert-cycle fast-forward across the lanes
+/// of one traversal — measured ≈1.4× on the smoke matrix; the floor sits
+/// conservatively below it so host noise cannot fail a healthy build,
+/// while a change that quietly re-serializes decode per lane (speedup
+/// →1.0×) still trips the gate.
+pub const BATCH_SPEEDUP_FLOOR: f64 = 1.15;
+/// Budget tiers of the batched lane matrix (× [`OrgKind::PAPER_EVAL`]
+/// orgs × FDIP off/on = 18 lanes, a realistic sweep group).
+pub const BATCH_BUDGETS: [BudgetPoint; 3] =
+    [BudgetPoint::Kb1_8, BudgetPoint::Kb3_6, BudgetPoint::Kb14_5];
 
 /// One measured configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -137,6 +164,29 @@ pub struct GenPass {
     pub share_of_serial: f64,
 }
 
+/// The batched sweep matrix measured against its per-point baseline
+/// (schema v5, additive): both passes run the same org×budget×FDIP lane
+/// matrix on one thread; `speedup` is what one-traversal batching buys
+/// a sweep before any thread-level parallelism.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BatchedPass {
+    /// Lanes in the matrix (orgs × budgets × FDIP settings).
+    pub lanes: usize,
+    /// Wall-clock seconds of the best per-point pass (one solo
+    /// [`SimSession`] per lane, each re-decoding the trace).
+    pub per_point_seconds: f64,
+    /// Wall-clock seconds of the best batched pass (one
+    /// [`BatchStream`] materialization, then every lane over it).
+    pub batched_seconds: f64,
+    /// `per_point_seconds / batched_seconds` — gated by
+    /// [`BATCH_SPEEDUP_FLOOR`].
+    pub speedup: f64,
+    /// Whether every batched lane's [`SimResult`] equalled its
+    /// per-point twin exactly. Anything but `true` fails the bench
+    /// ([`check_batched`]).
+    pub identical: bool,
+}
+
 /// The windows every entry ran with.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchWindows {
@@ -170,9 +220,9 @@ pub struct ContainerRead {
 /// The `BENCH_sim.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
-    /// Schema tag (`btbx-bench-sim/4` since warm-checkpoint sharding
-    /// landed with the snapshot fields; 3 added the container-read
-    /// field; 2 the streaming fields).
+    /// Schema tag (`btbx-bench-sim/5` since the batched sweep matrix;
+    /// 4 added warm-checkpoint sharding with the snapshot fields; 3 the
+    /// container-read field; 2 the streaming fields).
     pub schema: String,
     /// `smoke` or `full`.
     pub mode: String,
@@ -187,6 +237,9 @@ pub struct BenchReport {
     /// workload converted to `.btbt`, or the `--trace` file itself).
     #[serde(default)]
     pub container_read: ContainerRead,
+    /// Batched sweep matrix vs its per-point baseline (schema v5).
+    #[serde(default)]
+    pub batched: BatchedPass,
     /// One row per (org, mode).
     pub entries: Vec<BenchEntry>,
     /// Per-org `sharded` over `serial` events/sec ratio.
@@ -322,7 +375,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
                 ..Timed::default()
             }
         });
-        push_entry(&mut entries, org, "serial", serial);
+        push_entry(&mut entries, org.id(), "serial", serial);
 
         eprintln!("[bench] {}: serial (dyn dispatch)…", org.id());
         let dyn_serial = best_of(|| {
@@ -344,7 +397,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
                 ..Timed::default()
             }
         });
-        push_entry(&mut entries, org, "serial-dyn", dyn_serial);
+        push_entry(&mut entries, org.id(), "serial-dyn", dyn_serial);
 
         eprintln!("[bench] {}: sharded ×{SHARDS} (checkpoint mode)…", org.id());
         // One warm ladder per org (snapshots embed the BTB), shared
@@ -385,11 +438,119 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
                 warmed_instructions: out.telemetry.warmed_instructions,
             }
         });
-        push_entry(&mut entries, org, "sharded", sharded);
+        push_entry(&mut entries, org.id(), "sharded", sharded);
         if let Err(e) = warm_cache.store(&warm) {
             eprintln!("[bench] {}: warm cache write failed ({e})", org.id());
         }
     }
+
+    // The batched sweep matrix: the paper-evaluation orgs at three
+    // budget tiers, FDIP off and on — the shape of a real sweep group.
+    // Both passes run single-threaded so the ratio isolates what one
+    // shared traversal amortizes, not how many cores the host has.
+    let lanes: Vec<BatchLane> = OrgKind::PAPER_EVAL
+        .iter()
+        .flat_map(|&org| {
+            BATCH_BUDGETS.iter().flat_map(move |&bp| {
+                [false, true].map(move |fdip| BatchLane {
+                    spec: btbx_core::BtbSpec::of(org)
+                        .at(bp)
+                        .arch(workload.params.arch),
+                    config: if fdip {
+                        SimConfig::with_fdip()
+                    } else {
+                        SimConfig::without_fdip()
+                    },
+                    label: org.id().to_string(),
+                })
+            })
+        })
+        .collect();
+    eprintln!(
+        "[bench] batched matrix: {} lanes, per-point vs one-traversal…",
+        lanes.len()
+    );
+    let run_per_point = || -> (f64, Vec<SimResult>) {
+        let start = Instant::now();
+        let results = lanes
+            .iter()
+            .map(|lane| {
+                SimSession::new(proto.clone())
+                    .btb_spec(lane.spec)
+                    .config(lane.config.clone())
+                    .label(lane.label.clone())
+                    .warmup(warmup)
+                    .measure(measure)
+                    .run()
+                    .expect("paper spec is valid")
+            })
+            .collect();
+        (start.elapsed().as_secs_f64(), results)
+    };
+    // Materialization happens inside the timed region: the shared decode
+    // pass is part of what the batched path pays, exactly as in
+    // `Sweep::run`'s batch groups (which drive the same
+    // `BatchStream::run_lane`).
+    let slack = lanes
+        .iter()
+        .map(|l| lookahead_slack(&l.config))
+        .max()
+        .expect("matrix is non-empty");
+    let mut window_bytes = 0u64;
+    let mut run_batched = || -> (f64, Vec<SimResult>) {
+        let start = Instant::now();
+        let stream = BatchStream::materialize(proto.clone(), warmup, measure, slack)
+            .expect("bench windows are bounded");
+        window_bytes = stream.events() as u64 * 16;
+        let results = lanes
+            .iter()
+            .map(|lane| stream.run_lane(lane).expect("paper spec is valid"))
+            .collect();
+        (start.elapsed().as_secs_f64(), results)
+    };
+    let mut per_point_best = f64::INFINITY;
+    let mut batched_best = f64::INFINITY;
+    let mut identical = true;
+    let mut lane_events = 0u64;
+    for rep in 0..REPS {
+        let (pp_secs, pp_results) = run_per_point();
+        let (b_secs, b_results) = run_batched();
+        per_point_best = per_point_best.min(pp_secs);
+        batched_best = batched_best.min(b_secs);
+        if rep == 0 {
+            identical = pp_results == b_results;
+            lane_events = pp_results.iter().map(|r| r.stats.instructions).sum();
+        }
+    }
+    let batched_pass = BatchedPass {
+        lanes: lanes.len(),
+        per_point_seconds: per_point_best,
+        batched_seconds: batched_best,
+        speedup: per_point_best / batched_best.max(1e-9),
+        identical,
+    };
+    push_entry(
+        &mut entries,
+        "matrix",
+        "per-point",
+        Timed {
+            events: lane_events,
+            seconds: per_point_best,
+            peak_event_buffer_bytes: EVENT_BLOCK_BYTES,
+            ..Timed::default()
+        },
+    );
+    push_entry(
+        &mut entries,
+        "matrix",
+        "batched",
+        Timed {
+            events: lane_events,
+            seconds: batched_best,
+            peak_event_buffer_bytes: window_bytes,
+            ..Timed::default()
+        },
+    );
 
     let rate = |org: OrgKind, mode: &str| {
         entries
@@ -423,7 +584,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
     };
 
     let report = BenchReport {
-        schema: "btbx-bench-sim/4".to_string(),
+        schema: "btbx-bench-sim/5".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workload: workload.name.clone(),
         windows: BenchWindows {
@@ -434,6 +595,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
         },
         generation,
         container_read,
+        batched: batched_pass,
         entries,
         speedup_sharded_vs_serial,
         speedup_static_vs_dyn,
@@ -475,6 +637,18 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
     for (org, s) in &report.speedup_static_vs_dyn {
         println!("speedup {org}: static vs dyn dispatch = {s:.2}×");
     }
+    println!(
+        "batched matrix: {} lanes, per-point {:.3}s vs batched {:.3}s = {:.2}× ({})",
+        report.batched.lanes,
+        report.batched.per_point_seconds,
+        report.batched.batched_seconds,
+        report.batched.speedup,
+        if report.batched.identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = write_artifact(&opts.out_dir, "BENCH_sim.json", &json);
@@ -482,6 +656,7 @@ pub fn run(opts: &HarnessOpts, smoke: bool, baseline: Option<&Path>) -> Result<(
 
     check_exactness(&report)?;
     check_setup_share(&report)?;
+    check_batched(&report)?;
     if let Some(base_path) = baseline {
         check_baseline(&report, base_path)?;
     }
@@ -542,9 +717,9 @@ fn measure_container_read(
     })
 }
 
-fn push_entry(entries: &mut Vec<BenchEntry>, org: OrgKind, mode: &str, t: Timed) {
+fn push_entry(entries: &mut Vec<BenchEntry>, org: &str, mode: &str, t: Timed) {
     entries.push(BenchEntry {
-        org: org.id().to_string(),
+        org: org.to_string(),
         mode: mode.to_string(),
         events: t.events,
         seconds: t.seconds,
@@ -618,6 +793,32 @@ fn check_setup_share(report: &BenchReport) -> Result<(), String> {
             offenders.join("\n  ")
         ))
     }
+}
+
+/// Fail when the batched matrix diverged from its per-point baseline or
+/// its speedup fell below [`BATCH_SPEEDUP_FLOOR`]. Divergence is the
+/// cardinal sin — a fast batched sweep that simulates a *different*
+/// machine poisons every figure built from the shared cache — so it is
+/// checked before the throughput floor. A report without a batched
+/// section (old baselines, `lanes == 0`) passes vacuously.
+fn check_batched(report: &BenchReport) -> Result<(), String> {
+    let b = &report.batched;
+    if b.lanes == 0 {
+        return Ok(());
+    }
+    if !b.identical {
+        return Err(
+            "batched matrix lanes are not bit-identical to their per-point runs".to_string(),
+        );
+    }
+    if b.speedup < BATCH_SPEEDUP_FLOOR {
+        return Err(format!(
+            "batched matrix speedup {:.2}× fell below the {BATCH_SPEEDUP_FLOOR:.2}× floor \
+             (per-point {:.3}s vs batched {:.3}s over {} lanes)",
+            b.speedup, b.per_point_seconds, b.batched_seconds, b.lanes
+        ));
+    }
+    Ok(())
 }
 
 /// Compare against a previously recorded report.
@@ -711,7 +912,7 @@ mod tests {
 
     fn report_with(entries: Vec<BenchEntry>) -> BenchReport {
         BenchReport {
-            schema: "btbx-bench-sim/4".into(),
+            schema: "btbx-bench-sim/5".into(),
             mode: "smoke".into(),
             workload: "w".into(),
             windows: BenchWindows {
@@ -722,6 +923,7 @@ mod tests {
             },
             generation: GenPass::default(),
             container_read: ContainerRead::default(),
+            batched: BatchedPass::default(),
             entries,
             speedup_sharded_vs_serial: vec![],
             speedup_static_vs_dyn: vec![],
@@ -759,6 +961,41 @@ mod tests {
         assert_eq!(back.entries[0].peak_event_buffer_bytes, 0);
         assert_eq!(back.entries[0].serial_setup_share, 0.0);
         assert_eq!(back.generation.instructions, 0);
+        // Pre-v5 baselines have no batched section: it defaults empty
+        // and check_batched passes vacuously.
+        assert_eq!(back.batched.lanes, 0);
+        assert!(check_batched(&back).is_ok());
+    }
+
+    #[test]
+    fn batched_gate_requires_identity_then_the_speedup_floor() {
+        let mut r = report_with(vec![]);
+        r.batched = BatchedPass {
+            lanes: 18,
+            per_point_seconds: 2.5,
+            batched_seconds: 1.8,
+            speedup: 2.5 / 1.8,
+            identical: true,
+        };
+        assert!(check_batched(&r).is_ok());
+
+        // Divergence fails even when the speedup looks great.
+        let mut diverged = r.clone();
+        diverged.batched.identical = false;
+        let err = check_batched(&diverged).unwrap_err();
+        assert!(err.contains("bit-identical"), "{err}");
+
+        // A healthy-but-slow batched path trips the floor.
+        let mut slow = r.clone();
+        slow.batched.batched_seconds = 2.4;
+        slow.batched.speedup = 2.5 / 2.4;
+        let err = check_batched(&slow).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+
+        // No lanes measured (e.g. an old report under comparison tools)
+        // passes vacuously.
+        r.batched = BatchedPass::default();
+        assert!(check_batched(&r).is_ok());
     }
 
     #[test]

@@ -41,13 +41,15 @@
 
 use crate::journal::{self, SweepJournal};
 use crate::opts::HarnessOpts;
-use crate::runner::run_named_jobs;
+use crate::runner::{run_jobs, run_named_jobs};
 use crate::store::ResultStore;
 use btbx_core::spec::{BtbSpec, Budget};
 use btbx_core::OrgKind;
 use btbx_trace::suite::WorkloadSpec;
+use btbx_uarch::batch::{lookahead_slack, BatchLane, BatchStream};
 use btbx_uarch::{AnyWarmLadder, ParallelSession, SimConfig, SimResult, SimSession};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
@@ -242,6 +244,61 @@ fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
     hash
 }
 
+/// Cache-missing points of one sweep that share a trace traversal: same
+/// workload, same windows, same configuration up to the per-point FDIP
+/// flag. The batched executor materializes the group's event window once
+/// and runs one lane per member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchGroup {
+    /// Indices into the sweep's [`Sweep::points`] order, ascending.
+    pub members: Vec<usize>,
+}
+
+/// Ceiling on a group's materialized window (`warmup + measure`, in
+/// events ≈ 16 bytes each): larger windows fall back to the streaming
+/// per-point path rather than hold a multi-hundred-MB buffer per live
+/// group. 2²³ events ≈ 128 MB.
+pub const MAX_BATCH_WINDOW_EVENTS: u64 = 1 << 23;
+
+/// Group cache-missing points (`misses`, indices into `points`) into
+/// [`BatchGroup`]s of points that can share one trace traversal.
+///
+/// The grouping key is the *stream-determining* part of a point — the
+/// workload, the warm-up/measure windows, and the simulator configuration
+/// with FDIP normalized out — because those decide which decoded events
+/// every lane consumes and how far past its target a lane can read
+/// ([`lookahead_slack`]). Organization, budget and the FDIP flag are
+/// per-lane state and deliberately absent. The shard count is absent too:
+/// checkpoint-mode sharding is bit-identical to serial replay (cache v3),
+/// so a batched group may run its lanes unsharded and still publish
+/// byte-identical entries under the shared cache keys.
+///
+/// Groups come back in first-member order and members stay ascending, so
+/// the plan — and every journal/label derived from it — is deterministic.
+pub fn plan_batches(points: &[SimPoint], misses: &[usize]) -> Vec<BatchGroup> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for &i in misses {
+        let p = &points[i];
+        let mut config = p.config.clone();
+        config.fdip = false;
+        let key = serde_json::to_string(&(&p.workload, p.warmup, p.measure, &config))
+            .expect("points serialize");
+        let key = fnv1a(key.as_bytes(), 0);
+        let members = groups.entry(key).or_insert_with(|| {
+            order.push(key);
+            Vec::new()
+        });
+        members.push(i);
+    }
+    order
+        .into_iter()
+        .map(|k| BatchGroup {
+            members: groups.remove(&k).expect("keyed above"),
+        })
+        .collect()
+}
+
 /// A declarative simulation matrix: workloads × orgs × budgets × FDIP at
 /// fixed windows and simulator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -372,8 +429,23 @@ impl Sweep {
     /// ([`SimPoint::run_sharded`]); since checkpoint-mode results are
     /// bit-identical to serial ones they share the serial cache entries,
     /// so any mix of shard counts serves from one cache. The thread
-    /// budget splits between concurrent points and intra-point shard
-    /// fan-out by [`HarnessOpts::pool_split`].
+    /// budget splits between concurrent dispatch units and per-unit
+    /// fan-out by [`HarnessOpts::pool_split_for`].
+    ///
+    /// # Batched execution
+    ///
+    /// With `opts.batch` (the default) cache-missing points that share a
+    /// (workload, windows, FDIP-normalized config) stream are grouped
+    /// ([`plan_batches`]) and each group costs **one** trace traversal:
+    /// the decoded event window is materialized once and every
+    /// org×budget×FDIP member runs as an independent lane over it
+    /// ([`btbx_uarch::batch`]). Batched lanes are bit-identical to
+    /// per-point runs — `crates/bench/tests/batch_differential.rs` pins
+    /// stats *and* cache-entry bytes — and publish under the same cache
+    /// keys, so figures, `--server`, `--cluster` and `--resume` consume
+    /// them unchanged. A batched group runs its lanes unsharded (exactly
+    /// equivalent, per the cache-v3 contract); `--no-batch` forces the
+    /// per-point path.
     ///
     /// # Crash resumability
     ///
@@ -398,18 +470,15 @@ impl Sweep {
         let (journal, recovery) =
             SweepJournal::open(&opts.out_dir, journal::sweep_key(&names), opts.resume)
                 .unwrap_or_else(|e| panic!("[{}] opening sweep journal: {e}", self.name));
-        let (point_threads, shard_threads) = opts.pool_split();
         let mut results: Vec<Option<SimResult>> = Vec::with_capacity(points.len());
-        let mut jobs = Vec::new();
         let mut misses: Vec<usize> = Vec::new();
         let mut resumed = 0usize;
-        for (i, point) in points.iter().enumerate() {
-            let name = names[i].clone();
+        for (i, _point) in points.iter().enumerate() {
             let cached = if opts.fresh {
                 None
             } else {
                 store
-                    .load(&name)
+                    .load(&names[i])
                     .unwrap_or_else(|e| panic!("[{}] {e}", self.name))
             };
             match cached {
@@ -417,7 +486,7 @@ impl Sweep {
                     // A journalled `done` whose entry vanished from the
                     // store falls through to the miss path below, so a
                     // resumed point is always backed by a real entry.
-                    if opts.resume && recovery.completed.contains(&name) {
+                    if opts.resume && recovery.completed.contains(&names[i]) {
                         resumed += 1;
                     }
                     results.push(Some(r));
@@ -425,42 +494,6 @@ impl Sweep {
                 None => {
                     results.push(None);
                     misses.push(i);
-                    let label = format!(
-                        "{}:{}@{}",
-                        point.workload.name,
-                        point.org.id(),
-                        point.budget.label()
-                    );
-                    let point = point.clone();
-                    let store = &store;
-                    let journal = &journal;
-                    let fresh = opts.fresh;
-                    jobs.push((label.clone(), move || {
-                        journal.attempt(&name, &label);
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            store
-                                .get_or_compute(&name, fresh, || {
-                                    point.run_sharded(shards, shard_threads)
-                                })
-                                .unwrap_or_else(|e| panic!("caching {name}: {e}"))
-                                .0
-                        }));
-                        match outcome {
-                            Ok(result) => {
-                                // Recorded only after get_or_compute
-                                // returned, i.e. after the entry is
-                                // durably published (or the incident
-                                // loudly counted as a store failure).
-                                journal.done(&name);
-                                result
-                            }
-                            Err(payload) => {
-                                journal
-                                    .failed(&name, &btbx_uarch::runner::panic_message(&*payload));
-                                resume_unwind(payload);
-                            }
-                        }
-                    }));
                 }
             }
         }
@@ -475,9 +508,88 @@ impl Sweep {
         if hits > 0 {
             eprintln!("[{}] {hits}/{} cached", self.name, points.len());
         }
+        // Plan the dispatch units: batch groups of same-stream points
+        // when batching is on, singletons otherwise. Oversized windows
+        // and one-member groups fall back to the streaming per-point
+        // path (nothing to amortize, or too much to materialize).
+        let groups: Vec<Vec<usize>> = if opts.batch {
+            plan_batches(&points, &misses)
+                .into_iter()
+                .flat_map(|g| {
+                    let first = &points[g.members[0]];
+                    let batchable = g.members.len() > 1
+                        && first.measure != u64::MAX
+                        && first.warmup.saturating_add(first.measure) <= MAX_BATCH_WINDOW_EVENTS;
+                    if batchable {
+                        vec![g.members]
+                    } else {
+                        g.members.into_iter().map(|i| vec![i]).collect()
+                    }
+                })
+                .collect()
+        } else {
+            misses.iter().map(|&i| vec![i]).collect()
+        };
+        // Thread accounting keys on dispatch units, not raw points: one
+        // batched traversal replaces its whole group, so `groups.len()`
+        // (not `misses.len()`) bounds useful point-level parallelism and
+        // the rest of the budget flows to per-job fan-out — shards for a
+        // singleton, concurrent lanes for a batched group.
+        let width = groups
+            .iter()
+            .map(|g| if g.len() == 1 { shards } else { g.len() })
+            .max()
+            .unwrap_or(shards);
+        let (point_threads, fanout_threads) = opts.pool_split_for(width, groups.len());
+        let mut jobs = Vec::new();
+        let mut job_members: Vec<Vec<usize>> = Vec::new();
+        for group in groups {
+            let first = &points[group[0]];
+            let label = if group.len() == 1 {
+                format!(
+                    "{}:{}@{}",
+                    first.workload.name,
+                    first.org.id(),
+                    first.budget.label()
+                )
+            } else {
+                format!("{}:batch[{}]", first.workload.name, group.len())
+            };
+            job_members.push(group.clone());
+            let points = &points;
+            let names = &names;
+            let store = &store;
+            let journal = &journal;
+            let fresh = opts.fresh;
+            jobs.push((label.clone(), move || -> Vec<SimResult> {
+                if let [i] = group[..] {
+                    vec![journaled(journal, &names[i], &label, || {
+                        store
+                            .get_or_compute(&names[i], fresh, || {
+                                points[i].run_sharded(shards, fanout_threads)
+                            })
+                            .unwrap_or_else(|e| panic!("caching {}: {e}", names[i]))
+                            .0
+                    })]
+                } else {
+                    compute_batched_group(
+                        points,
+                        &group,
+                        names,
+                        store,
+                        journal,
+                        fresh,
+                        fanout_threads,
+                        &label,
+                    )
+                }
+            }));
+        }
         let computed = run_named_jobs(&self.name, point_threads, jobs);
-        for (i, result) in misses.into_iter().zip(computed) {
-            results[i] = Some(result);
+        for (members, group_results) in job_members.into_iter().zip(computed) {
+            for (i, result) in members.into_iter().zip(group_results) {
+                results[i] = Some(result);
+            }
         }
         // Every point resolved: the journal has served its purpose. (On
         // a failed point run_named_jobs unwinds above and the journal
@@ -488,6 +600,89 @@ impl Sweep {
             .map(|r| r.expect("all points resolved"))
             .collect()
     }
+}
+
+/// Journal bracket shared by every compute path: `attempt` before the
+/// work, `done` strictly after `compute` returned — i.e. after
+/// [`ResultStore::get_or_compute`] durably published the entry — and
+/// `failed` + re-unwind on panic so `--resume` re-dispatches the point.
+fn journaled(
+    journal: &SweepJournal,
+    name: &str,
+    label: &str,
+    compute: impl FnOnce() -> SimResult,
+) -> SimResult {
+    journal.attempt(name, label);
+    match catch_unwind(AssertUnwindSafe(compute)) {
+        Ok(result) => {
+            journal.done(name);
+            result
+        }
+        Err(payload) => {
+            journal.failed(name, &btbx_uarch::runner::panic_message(&*payload));
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Run one batch group: materialize the shared event window once, then
+/// one simulation lane per member over it (up to `lane_threads`
+/// concurrently). Every member publishes through the same single-flight
+/// store path as a per-point run — under the same cache key, with
+/// byte-identical contents, since batched lanes are bit-identical to
+/// solo runs — and journals individually the moment its lane finishes,
+/// so a crash mid-group loses only unfinished lanes.
+#[allow(clippy::too_many_arguments)]
+fn compute_batched_group(
+    points: &[SimPoint],
+    members: &[usize],
+    names: &[String],
+    store: &ResultStore,
+    journal: &SweepJournal,
+    fresh: bool,
+    lane_threads: usize,
+    label: &str,
+) -> Vec<SimResult> {
+    let first = &points[members[0]];
+    let slack = members
+        .iter()
+        .map(|&i| lookahead_slack(&points[i].config))
+        .max()
+        .expect("non-empty group");
+    let stream = BatchStream::materialize(first.source(), first.warmup, first.measure, slack)
+        .unwrap_or_else(|e| panic!("{label}: materializing batch window: {e}"));
+    let lane_jobs: Vec<_> = members
+        .iter()
+        .map(|&i| {
+            let point = &points[i];
+            let name = &names[i];
+            let stream = &stream;
+            move || {
+                let lane_label = format!(
+                    "{}:{}@{}",
+                    point.workload.name,
+                    point.org.id(),
+                    point.budget.label()
+                );
+                journaled(journal, name, &lane_label, || {
+                    store
+                        .get_or_compute(name, fresh, || {
+                            let lane = BatchLane {
+                                spec: point.btb_spec(),
+                                config: point.config.clone(),
+                                label: point.org.id().to_string(),
+                            };
+                            stream
+                                .run_lane(&lane)
+                                .unwrap_or_else(|e| panic!("sim point {}: {e}", point.cache_file()))
+                        })
+                        .unwrap_or_else(|e| panic!("caching {name}: {e}"))
+                        .0
+                })
+            }
+        })
+        .collect();
+    run_jobs(label, lane_threads, lane_jobs)
 }
 
 #[cfg(test)]
@@ -510,6 +705,7 @@ mod tests {
             trace: None,
             http_timeout_ms: 600_000,
             resume: false,
+            batch: true,
             fault_plan: None,
         }
     }
@@ -757,6 +953,73 @@ mod tests {
             "checkpoint-sharded computation must be bit-identical to serial"
         );
         let _ = fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn batches_group_by_stream_not_by_lane_state() {
+        let sweep = Sweep::named("plan")
+            .workloads(suite::ipc1_client().into_iter().take(2))
+            .orgs(OrgKind::PAPER_EVAL)
+            .budgets([BudgetPoint::Kb0_9, BudgetPoint::Kb14_5])
+            .fdip_both()
+            .windows(5_000, 10_000);
+        let points = sweep.points();
+        let all: Vec<usize> = (0..points.len()).collect();
+        let groups = plan_batches(&points, &all);
+        // Organization, budget and FDIP are lane state: everything
+        // collapses into one group per workload stream.
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, points.len());
+        for g in &groups {
+            let w = &points[g.members[0]].workload.name;
+            assert!(g.members.iter().all(|&i| &points[i].workload.name == w));
+            assert!(
+                g.members.windows(2).all(|ab| ab[0] < ab[1]),
+                "members stay in points order"
+            );
+        }
+        // A config divergence beyond FDIP splits the stream.
+        let mut diverged = points.clone();
+        diverged[0].config.rob_entries += 1;
+        assert_eq!(plan_batches(&diverged, &all).len(), 3);
+        // And different windows never share a window materialization.
+        let mut windows = points.clone();
+        windows[1].measure += 1;
+        assert_eq!(plan_batches(&windows, &all).len(), 3);
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_point_results_and_cache_bytes() {
+        let sweep = Sweep::named("batchrun")
+            .workloads(suite::ipc1_client().into_iter().take(1))
+            .orgs([OrgKind::Conv, OrgKind::BtbX])
+            .budgets([BudgetPoint::Kb1_8])
+            .fdip_both()
+            .windows(4_000, 8_000);
+        let batched_opts = tiny_opts("btbx-sweep-batched");
+        let mut serial_opts = tiny_opts("btbx-sweep-unbatched");
+        serial_opts.batch = false;
+        let _ = fs::remove_dir_all(&batched_opts.out_dir);
+        let _ = fs::remove_dir_all(&serial_opts.out_dir);
+
+        let batched = sweep.run(&batched_opts);
+        let serial = sweep.run(&serial_opts);
+        assert_eq!(batched.len(), 4);
+        for (b, s) in batched.iter().zip(&serial) {
+            assert_eq!(b, s, "batched lane must equal the per-point run");
+        }
+        // The published artifacts are byte-identical, entry for entry —
+        // the contract that keeps figures, serve and cluster oblivious
+        // to how a point was computed.
+        for p in sweep.points() {
+            let name = p.cache_file();
+            let a = fs::read(batched_opts.out_dir.join("cache").join(&name)).unwrap();
+            let b = fs::read(serial_opts.out_dir.join("cache").join(&name)).unwrap();
+            assert_eq!(a, b, "cache entry bytes for {name}");
+        }
+        let _ = fs::remove_dir_all(&batched_opts.out_dir);
+        let _ = fs::remove_dir_all(&serial_opts.out_dir);
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn opts(out_dir: &Path) -> HarnessOpts {
         trace: None,
         http_timeout_ms: 10_000,
         resume: false,
+        batch: true,
         fault_plan: None,
     }
 }

@@ -178,6 +178,7 @@ fn served_results_are_byte_identical_to_the_serial_cli_path() {
         trace: None,
         http_timeout_ms: 600_000,
         resume: false,
+        batch: true,
         fault_plan: None,
     });
 
@@ -223,6 +224,7 @@ fn sweep_via_server_matches_local_sweep_order_and_results() {
         trace: None,
         http_timeout_ms: 600_000,
         resume: false,
+        batch: true,
         fault_plan: None,
     };
     let local = sweep.run(&opts);

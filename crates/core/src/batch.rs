@@ -1,0 +1,248 @@
+//! Struct-of-engines batch driver: many [`BtbEngine`] instances advanced
+//! in lock-step over one decoded event stream.
+//!
+//! A sweep evaluates the same trace against K organization × budget
+//! points. Driven separately, each point pays the full trace decode; the
+//! bank amortizes that to one traversal with K cheap per-engine
+//! probe/update fan-outs per event. The engines are *independent* — no
+//! state is shared between lanes — so every per-engine answer is
+//! bit-identical to what a solo engine fed the same stream would give,
+//! and each lane snapshots through the engine's own sealed codec
+//! ([`EngineBank::save_engine`]), byte-compatible with solo snapshots, so
+//! warm ladders and sharded replay keep working per lane.
+//!
+//! The cycle-level batched executor (`btbx_uarch::batch`) builds its
+//! per-lane engines through [`EngineBank::from_specs`] (one validation
+//! pass for the whole group); the trace-driven fan-out methods serve
+//! MPKI-style evaluation and the `engine_batch_ops` Criterion bench that
+//! pins the per-engine marginal cost.
+
+use crate::btb::BtbHit;
+use crate::engine::BtbEngine;
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+use crate::spec::{BtbSpec, SpecError};
+use crate::stats::AccessCounts;
+use crate::types::BranchEvent;
+
+/// A bank of independent BTB engines driven over one event stream.
+#[derive(Debug, Clone)]
+pub struct EngineBank {
+    engines: Vec<BtbEngine>,
+}
+
+impl EngineBank {
+    /// Build one engine per spec, validating every spec before any
+    /// storage is allocated — a sweep group fails fast as a whole
+    /// instead of mid-flight on lane 7.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SpecError`] among the specs.
+    pub fn from_specs<'a, I>(specs: I) -> Result<Self, SpecError>
+    where
+        I: IntoIterator<Item = &'a BtbSpec>,
+    {
+        let specs: Vec<&BtbSpec> = specs.into_iter().collect();
+        for spec in &specs {
+            spec.validate()?;
+        }
+        Ok(EngineBank {
+            engines: specs
+                .iter()
+                .map(|s| BtbEngine::build(s.org, s.bits(), s.arch))
+                .collect(),
+        })
+    }
+
+    /// Adopt already-built engines.
+    pub fn from_engines(engines: Vec<BtbEngine>) -> Self {
+        EngineBank { engines }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the bank has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The engine in `lane`.
+    pub fn engine(&self, lane: usize) -> &BtbEngine {
+        &self.engines[lane]
+    }
+
+    /// Mutable access to the engine in `lane`.
+    pub fn engine_mut(&mut self, lane: usize) -> &mut BtbEngine {
+        &mut self.engines[lane]
+    }
+
+    /// Disband the bank into its engines (the batched executor hands one
+    /// to each simulation lane).
+    pub fn into_engines(self) -> Vec<BtbEngine> {
+        self.engines
+    }
+
+    /// Probe every lane at `pc`, appending one answer per lane to
+    /// `hits` (cleared first; reuse the buffer across events to stay
+    /// allocation-free in the hot loop).
+    #[inline]
+    pub fn lookup_all(&mut self, pc: u64, hits: &mut Vec<Option<BtbHit>>) {
+        hits.clear();
+        hits.extend(self.engines.iter_mut().map(|e| e.lookup(pc)));
+    }
+
+    /// Commit-time update fan-out: apply `event` to every lane.
+    #[inline]
+    pub fn update_all(&mut self, event: &BranchEvent) {
+        for e in &mut self.engines {
+            e.update(event);
+        }
+    }
+
+    /// Per-lane dynamic access counters.
+    pub fn counts(&self) -> Vec<AccessCounts> {
+        self.engines.iter().map(|e| e.counts()).collect()
+    }
+
+    /// Reset every lane's counters.
+    pub fn reset_counts(&mut self) {
+        for e in &mut self.engines {
+            e.reset_counts();
+        }
+    }
+
+    /// Serialize one lane through the engine's own sealed codec. The
+    /// bytes are identical to a solo [`BtbEngine::save_state`], so bank
+    /// lanes interoperate with warm ladders and shard checkpoints taken
+    /// from unbatched runs.
+    pub fn save_engine(&self, lane: usize, w: &mut SnapWriter) {
+        self.engines[lane].save_state(w);
+    }
+
+    /// Restore one lane from a solo-compatible engine snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the engine codec reports (organization mismatch,
+    /// truncation, corruption).
+    pub fn restore_engine(&mut self, lane: usize, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.engines[lane].restore_state(r)
+    }
+}
+
+impl Snapshot for EngineBank {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.engines.len() as u64);
+        for e in &self.engines {
+            e.save_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_u64(self.engines.len() as u64, "engine bank width")?;
+        for e in &mut self.engines {
+            e.restore_state(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::OrgKind;
+    use crate::storage::BudgetPoint;
+    use crate::types::BranchClass;
+
+    fn specs() -> Vec<BtbSpec> {
+        vec![
+            BtbSpec::of(OrgKind::Conv).at(BudgetPoint::Kb1_8),
+            BtbSpec::of(OrgKind::BtbX).at(BudgetPoint::Kb3_6),
+            BtbSpec::of(OrgKind::Pdede).at(BudgetPoint::Kb14_5),
+        ]
+    }
+
+    fn stream(n: u64) -> Vec<BranchEvent> {
+        (0..n)
+            .map(|i| {
+                let pc = 0x1_0000 + (i % 97) * 4;
+                BranchEvent::taken(pc, pc + 0x40 + (i % 7) * 4, BranchClass::CondDirect)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fan_out_matches_solo_engines() {
+        let specs = specs();
+        let mut bank = EngineBank::from_specs(&specs).unwrap();
+        let mut solo: Vec<BtbEngine> = specs.iter().map(|s| s.build_engine().unwrap()).collect();
+        let mut hits = Vec::new();
+        for ev in stream(5_000) {
+            bank.lookup_all(ev.pc, &mut hits);
+            for (lane, engine) in solo.iter_mut().enumerate() {
+                assert_eq!(hits[lane], engine.lookup(ev.pc));
+            }
+            bank.update_all(&ev);
+            for engine in &mut solo {
+                engine.update(&ev);
+            }
+        }
+        for (lane, engine) in solo.iter().enumerate() {
+            assert_eq!(bank.counts()[lane], engine.counts(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn lane_snapshots_are_solo_compatible() {
+        let specs = specs();
+        let mut bank = EngineBank::from_specs(&specs).unwrap();
+        let mut solo: Vec<BtbEngine> = specs.iter().map(|s| s.build_engine().unwrap()).collect();
+        for ev in stream(2_000) {
+            bank.update_all(&ev);
+            for engine in &mut solo {
+                engine.update(&ev);
+            }
+        }
+        for lane in 0..bank.len() {
+            let mut wb = SnapWriter::new();
+            bank.save_engine(lane, &mut wb);
+            let mut ws = SnapWriter::new();
+            solo[lane].save_state(&mut ws);
+            let bytes = wb.into_vec();
+            assert_eq!(bytes, ws.into_vec(), "lane {lane} codec bytes");
+            // And a solo engine restores from the bank lane's bytes.
+            let mut fresh = specs[lane].build_engine().unwrap();
+            fresh.restore_state(&mut SnapReader::new(&bytes)).unwrap();
+            let mut wf = SnapWriter::new();
+            fresh.save_state(&mut wf);
+            assert_eq!(wf.into_vec(), bytes, "round trip through solo engine");
+        }
+    }
+
+    #[test]
+    fn whole_bank_snapshot_round_trips() {
+        let specs = specs();
+        let mut bank = EngineBank::from_specs(&specs).unwrap();
+        for ev in stream(1_000) {
+            bank.update_all(&ev);
+        }
+        let mut w = SnapWriter::new();
+        bank.save_state(&mut w);
+        let bytes = w.into_vec();
+        let mut back = EngineBank::from_specs(&specs).unwrap();
+        back.restore_state(&mut SnapReader::new(&bytes)).unwrap();
+        let mut w2 = SnapWriter::new();
+        back.save_state(&mut w2);
+        assert_eq!(w2.into_vec(), bytes);
+    }
+
+    #[test]
+    fn invalid_spec_fails_the_whole_bank() {
+        let mut specs = specs();
+        specs.push(BtbSpec::of(OrgKind::BtbX).budget_bits(3));
+        assert!(EngineBank::from_specs(&specs).is_err());
+    }
+}

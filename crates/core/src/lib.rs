@@ -58,6 +58,7 @@
 //! assert_eq!(hit.target, TargetSource::Address(0x9000));
 //! ```
 
+pub mod batch;
 pub mod btb;
 pub mod conv;
 pub mod engine;
@@ -78,6 +79,7 @@ pub mod tag;
 pub mod types;
 pub mod x;
 
+pub use batch::EngineBank;
 pub use btb::{Btb, BtbHit, HitSite};
 pub use conv::ConvBtb;
 pub use engine::BtbEngine;

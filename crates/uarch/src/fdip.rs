@@ -55,6 +55,13 @@ impl Fdip {
         self.stats
     }
 
+    /// Index of the next FTQ entry to examine. A tick is a no-op exactly
+    /// when the cursor has caught up with the FTQ tail; the batched
+    /// executor's inert-cycle detector relies on this.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
     /// Reset statistics (cursor preserved).
     pub fn reset_stats(&mut self) {
         self.stats = FdipStats::default();

@@ -27,7 +27,9 @@
 //! * [`sim`] — the cycle loop tying everything together;
 //! * [`stats`] — IPC, MPKI, flush and energy-relevant access statistics;
 //! * [`runner`] — the panic-safe work-queue thread pool;
-//! * [`parallel`] — interval-sharded replay of one run across the pool.
+//! * [`parallel`] — interval-sharded replay of one run across the pool;
+//! * [`batch`] — batched multi-lane execution: many org×budget lanes over
+//!   one materialized event window, bit-identical to solo runs.
 //!
 //! # Model fidelity
 //!
@@ -40,6 +42,7 @@
 //! bubbles, and wrong-path accounting. DESIGN.md discusses the
 //! substitution.
 
+pub mod batch;
 pub mod bpu;
 pub mod cache;
 pub mod config;
@@ -54,6 +57,7 @@ pub mod session;
 pub mod sim;
 pub mod stats;
 
+pub use batch::{BatchLane, BatchSession, BatchStream};
 pub use config::SimConfig;
 pub use parallel::{
     warm_identity, AnyLadder, AnyWarmLadder, CheckpointLadder, ParallelOutcome, ParallelSession,

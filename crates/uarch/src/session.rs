@@ -127,7 +127,7 @@ enum BtbSource<B> {
     Spec(BtbSpec),
 }
 
-type Observer<'a> = (u64, Box<dyn FnMut(&IntervalStats) + 'a>);
+pub(crate) type Observer<'a> = (u64, Box<dyn FnMut(&IntervalStats) + 'a>);
 
 /// Builder for one simulation of a trace on a BTB organization.
 ///
@@ -148,6 +148,7 @@ pub struct SimSession<'a, S, B: Btb = Box<dyn Btb>> {
     label: Option<String>,
     observer: Option<Observer<'a>>,
     abort: Option<Arc<AtomicBool>>,
+    fast_forward: bool,
 }
 
 impl<'a, S: TraceSource> SimSession<'a, S> {
@@ -162,6 +163,7 @@ impl<'a, S: TraceSource> SimSession<'a, S> {
             label: None,
             observer: None,
             abort: None,
+            fast_forward: false,
         }
     }
 }
@@ -187,6 +189,7 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
             label: self.label,
             observer: self.observer,
             abort: self.abort,
+            fast_forward: self.fast_forward,
         }
     }
 
@@ -246,6 +249,18 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
         self
     }
 
+    /// Enable the O(1) inert-cycle fast-forward
+    /// ([`Simulator::set_fast_forward`]): spans of cycles in which no
+    /// pipeline stage can act are jumped instead of ticked. Results are
+    /// bit-identical to the plain tick loop — the batched executor
+    /// ([`crate::batch`]) turns this on for every lane, and the
+    /// differential suite pins the identity. Off by default so the
+    /// reference tick loop stays the oracle.
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
+    }
+
     /// Run the simulation.
     ///
     /// # Errors
@@ -269,6 +284,7 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
                 self.measure,
                 self.observer,
                 self.abort,
+                self.fast_forward,
             )),
             BtbSource::Spec(spec) => {
                 // Static dispatch: the engine monomorphizes the hot path.
@@ -283,6 +299,7 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
                     self.measure,
                     self.observer,
                     self.abort,
+                    self.fast_forward,
                 ))
             }
         }
@@ -290,8 +307,12 @@ impl<'a, S: TraceSource, B: Btb> SimSession<'a, S, B> {
 }
 
 /// Shared back half of [`SimSession::run`], monomorphized per BTB type.
+/// `pub(crate)` so the batched executor ([`crate::batch`]) constructs its
+/// lanes through the *same* code path as a solo session — the
+/// bit-identity contract then holds by construction, not by parallel
+/// maintenance of two assembly sequences.
 #[allow(clippy::too_many_arguments)]
-fn run_with<S: TraceSource, B: Btb>(
+pub(crate) fn run_with<S: TraceSource, B: Btb>(
     btb: B,
     label: String,
     budget_bits: u64,
@@ -301,12 +322,14 @@ fn run_with<S: TraceSource, B: Btb>(
     measure: u64,
     mut observer: Option<Observer<'_>>,
     abort: Option<Arc<AtomicBool>>,
+    fast_forward: bool,
 ) -> SimResult {
     let bpu = Bpu::new(btb, config.ras_entries, config.decode_resteer);
     let mut sim = Simulator::new(config, trace, bpu, label, budget_bits);
     if let Some(flag) = abort {
         sim.set_abort(flag);
     }
+    sim.set_fast_forward(fast_forward);
     let interval = observer.as_ref().map(|(n, _)| *n);
     let mut result = sim.run_observed(warmup, measure, interval, &mut |iv| {
         if let Some((_, cb)) = observer.as_mut() {

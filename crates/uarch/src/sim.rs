@@ -104,6 +104,18 @@ pub struct Simulator<S, B: btbx_core::Btb = Box<dyn btbx_core::Btb>> {
     /// loops panic with [`ABORT_MARKER`] at the next poll boundary.
     abort: Option<Arc<AtomicBool>>,
     abort_poll: u32,
+    /// Skip provably inert cycles in O(1) jumps (see
+    /// [`Self::fast_forward_span`]). Off by default: the plain tick loop
+    /// is the reference trajectory; the batched executor turns this on
+    /// and the differential suite pins the two bit-identical.
+    fast_forward: bool,
+    /// Number of leading FTQ entries known to have issued their L1-I
+    /// access (`block_ready` is `Some`). Derived state, never serialized:
+    /// a snapshot restore resets it to 0 and the next ifetch window
+    /// rebuilds it. The invariant is an *under*-count — entries below the
+    /// prefix are always issued; entries above it may be too — so a stale
+    /// low value only costs a redundant scan, never skips an issue.
+    issued_prefix: usize,
 }
 
 impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
@@ -147,7 +159,20 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
             budget_bits,
             abort: None,
             abort_poll: 0,
+            fast_forward: false,
+            issued_prefix: 0,
         }
+    }
+
+    /// Enable inert-cycle fast-forwarding: spans of cycles in which every
+    /// stage is provably a no-op (up to stall counters) are skipped in one
+    /// O(1) jump instead of being ticked one by one. The resulting
+    /// trajectory — every counter, every structure — is bit-identical to
+    /// the plain tick loop; `crates/bench/tests/batch_differential.rs`
+    /// pins this for every organization. The serial session leaves this off so it stays
+    /// the plain reference model; the batched executor turns it on.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Attach a cancellation flag: once `flag` turns true, the driving
@@ -199,7 +224,9 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
     /// the serial path and checkpoint-mode shards.
     pub fn run_until_committed(&mut self, target: u64) {
         while self.committed < target && !self.finished() {
-            self.tick();
+            if !(self.fast_forward && self.fast_forward_span()) {
+                self.tick();
+            }
             self.poll_abort();
         }
     }
@@ -262,6 +289,11 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
             (instructions, cycles)
         };
         while self.committed < target && !self.finished() {
+            if self.fast_forward && self.fast_forward_span() {
+                // A jump commits nothing, so no boundary can fire.
+                self.poll_abort();
+                continue;
+            }
             self.tick();
             self.poll_abort();
             if self.committed - self.measure_start_committed >= next_boundary {
@@ -365,6 +397,115 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
         }
     }
 
+    /// Try to jump over a span of inert cycles in O(1); returns `true`
+    /// and advances `cycle` (plus the per-cycle stall counters) when the
+    /// current cycle provably executes no state change, `false` when a
+    /// real [`tick`](Self::tick) is required.
+    ///
+    /// A cycle is *inert* when every stage is a no-op up to counters:
+    ///
+    /// * **commit** — ROB empty, or its head completes later;
+    /// * **fetch** — FTQ empty (the cycle only counts fetch starvation),
+    ///   or the whole ifetch window has issued its L1-I accesses and the
+    ///   head is blocked (ROB full, or its block not yet within the hit
+    ///   horizon);
+    /// * **FDIP** — absent, or its cursor has caught up with the FTQ;
+    /// * **predict** — blocked on an unresolved mispredict, blocked until
+    ///   a future resolution cycle, or running but gated (trace drained,
+    ///   PDede second cycle, or FTQ full).
+    ///
+    /// Every condition is then stable until a known wake cycle: the ROB
+    /// head's completion, the head block's fetchability, the resteer
+    /// resolution, or the predictor becoming free. Jumping to the
+    /// earliest wake and bumping the stall counters by the span length
+    /// reproduces the plain loop's trajectory exactly: inert cycles
+    /// change nothing else by construction.
+    #[inline]
+    fn fast_forward_span(&mut self) -> bool {
+        let c = self.cycle;
+        // Commit stage: quiet iff the ROB head (if any) completes later.
+        let commit_wake = match self.rob.front() {
+            Some(e) if e.complete_at <= c => return false,
+            Some(e) => Some(e.complete_at),
+            None => None,
+        };
+        // Fetch stage.
+        let ftq_len = self.ftq.len();
+        let ftq_empty = ftq_len == 0;
+        let rob_full = self.rob.len() >= self.config.rob_entries;
+        let mut fetch_wake = None;
+        if !ftq_empty {
+            // The ifetch window must have nothing left to issue. The
+            // issued prefix is an under-count, so `prefix >= window`
+            // proves it; a stale low prefix merely falls back to a real
+            // tick, which rebuilds it.
+            let window = (self.config.fetch_width as usize * 2).min(ftq_len);
+            if self.issued_prefix < window {
+                return false;
+            }
+            let head_ready = self
+                .ftq
+                .head()
+                .expect("ftq non-empty")
+                .block_ready
+                .expect("whole window issued");
+            let l1i_latency = self.config.l1i.latency as u64;
+            if rob_full {
+                // Blocked by the ROB; the commit wake bounds the span
+                // (a full ROB is non-empty).
+            } else if head_ready > c + l1i_latency {
+                fetch_wake = Some(head_ready - l1i_latency);
+            } else {
+                return false; // head is fetchable this cycle
+            }
+        }
+        // FDIP: quiet iff the scan cursor has caught up.
+        if let Some(f) = &self.fdip {
+            if f.cursor() < ftq_len {
+                return false;
+            }
+        }
+        // Predict stage.
+        let predict_wake = match self.bpu_state {
+            BpuState::BlockedUnknown => None,
+            BpuState::BlockedUntil(t) if c >= t => return false,
+            BpuState::BlockedUntil(t) => Some(t),
+            BpuState::Running => {
+                if self.trace_done {
+                    None
+                } else if c < self.bpu_busy_until {
+                    Some(self.bpu_busy_until)
+                } else if !self.ftq.has_room() {
+                    // Room appears only when fetch pops, bounded above.
+                    None
+                } else {
+                    return false; // would predict this cycle
+                }
+            }
+        };
+        let next = [commit_wake, fetch_wake, predict_wake]
+            .into_iter()
+            .flatten()
+            .min();
+        let Some(next) = next else {
+            // No wake cycle: only possible when the pipeline has fully
+            // drained (`finished()`); let the driving loop observe that.
+            return false;
+        };
+        debug_assert!(next > c, "wake cycles lie strictly ahead of a quiet cycle");
+        let delta = next - c;
+        if self.bpu_state != BpuState::Running {
+            self.bubble_cycles += delta;
+        }
+        if ftq_empty {
+            self.fetch_starved_cycles += delta;
+        } else if rob_full {
+            self.rob_full_cycles += delta;
+        }
+        self.cycle = next;
+        true
+    }
+
     /// Advance one cycle.
     fn tick(&mut self) {
         self.commit_stage();
@@ -402,7 +543,17 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
     fn issue_ifetch_window(&mut self) {
         let window = self.config.fetch_width as usize * 2;
         let cycle = self.cycle;
-        for idx in 0..window.min(self.ftq.len()) {
+        let limit = window.min(self.ftq.len());
+        // Entries below the issued prefix are already `Some`; re-scanning
+        // them is a no-op, so starting there is semantically identical
+        // and saves the O(window) rescan every cycle. The reference path
+        // keeps the full scan so the oracle stays the plain model.
+        let start = if self.fast_forward {
+            self.issued_prefix.min(limit)
+        } else {
+            0
+        };
+        for idx in start..limit {
             // Safe: idx < len.
             let (pc, pending) = {
                 let e = self.ftq.get(idx).unwrap();
@@ -415,6 +566,7 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
                 }
             }
         }
+        self.issued_prefix = self.issued_prefix.max(limit);
     }
 
     fn fetch_stage(&mut self) {
@@ -449,6 +601,7 @@ impl<S: TraceSource, B: btbx_core::Btb> Simulator<S, B> {
                 break;
             }
             let entry = self.ftq.pop().unwrap();
+            self.issued_prefix = self.issued_prefix.saturating_sub(1);
             if let Some(f) = &mut self.fdip {
                 f.on_fetch(1);
             }
@@ -645,6 +798,8 @@ impl<S: TraceSource, B: btbx_core::Btb + Snapshot> Snapshot for Simulator<S, B> 
         for _ in 0..remnant {
             self.block.push(TraceInstr::load_snap(r)?);
         }
+        // Derived, not serialized: rebuilt by the next ifetch window.
+        self.issued_prefix = 0;
         self.cycle = r.u64()?;
         self.committed = r.u64()?;
         self.bpu_state = match r.u8()? {
