@@ -79,7 +79,10 @@ selection:
   --cluster LIST   fan the matrix out across a fleet of serve nodes
                    (comma-separated host:port list) with work stealing,
                    health probing and retry-on-node-loss; results are
-                   published into the local <out>/cache
+                   published into the local <out>/cache (or, with
+                   --store, into the shared store: the coordinator also
+                   seeds it with the sweep's trace containers so nodes
+                   without a local copy fetch them by content hash)
 
 spec files:
   --save FILE      write the sweep as JSON and exit (no simulation)
@@ -97,7 +100,10 @@ endpoints:
   POST /sim        SimPoint JSON -> SimResult JSON (X-Btbx-Cache header
                    reports disk|computed|joined)
   GET  /healthz    liveness probe
-  GET  /stats      request + cache counters
+  GET  /stats      request + cache counters (incl. remote store traffic)
+  GET  /blob/KEY   fetch a cache blob by content-addressed key (404 on
+                   miss); HEAD probes existence
+  PUT  /blob/KEY   publish a blob (atomic; results, warm snaps, traces)
   POST /shutdown   graceful shutdown (drains in-flight requests)
 
 options:
@@ -109,9 +115,12 @@ options:
   --deadline-ms D  abort any single simulation still running after D
                    milliseconds with 503 (the connection survives;
                    0 = no deadline)                           [0]
-shared options (--threads, --shards, --out for the cache dir) apply;
-`--shards 1` (the default) serves results byte-identical to the serial
-CLI path.";
+shared options (--threads, --shards, --out for the cache dir, --store
+for a non-default cache backend: another node's http:// blob endpoint,
+or tiered://DIR,http://HOST:PORT for a local cache in front of it)
+apply; `--shards 1` (the default) serves results byte-identical to the
+serial CLI path. A node with --store fetches trace containers it is
+missing from the store by content hash.";
 
 fn main() {
     // Chaos testing: BTBX_FAULT_PLAN arms a fault plan for the whole
@@ -530,7 +539,7 @@ fn cluster_cmd(mut args: Vec<String>) {
     let nodes = cluster::parse_node_list(&list).unwrap_or_else(|e| fail(&format!("cluster: {e}")));
 
     println!(
-        "{:<22} {:<12} {:>8} {:>7} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6} {:>8} {:>8}",
+        "{:<22} {:<12} {:>8} {:>7} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6} {:>8} {:>8} {:>6} {:>6} {:>5}",
         "node",
         "state",
         "version",
@@ -542,7 +551,10 @@ fn cluster_cmd(mut args: Vec<String>) {
         "joins",
         "shed",
         "dlabort",
-        "resumed"
+        "resumed",
+        "rhit",
+        "rmiss",
+        "rerr"
     );
     let mut cache_versions: Vec<u32> = Vec::new();
     let mut shard_counts: Vec<usize> = Vec::new();
@@ -554,7 +566,7 @@ fn cluster_cmd(mut args: Vec<String>) {
                 cache_versions.push(health.cache_version);
                 shard_counts.push(health.shards);
                 let stats = cluster::protocol::probe_stats(node, timeout);
-                let row: [String; 7] = match &stats {
+                let row: [String; 10] = match &stats {
                     Ok(s) => {
                         if max_shed.is_some_and(|limit| s.shed > limit) {
                             overshed.push(format!("{node} shed {} request(s)", s.shed));
@@ -567,12 +579,15 @@ fn cluster_cmd(mut args: Vec<String>) {
                             s.shed.to_string(),
                             s.deadline_aborts.to_string(),
                             s.resumed_points.to_string(),
+                            s.store.remote_hits.to_string(),
+                            s.store.remote_misses.to_string(),
+                            s.store.remote_errors.to_string(),
                         ]
                     }
                     Err(_) => std::array::from_fn(|_| "?".to_string()),
                 };
                 println!(
-                    "{:<22} {:<12} {:>8} {:>7} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6} {:>8} {:>8}",
+                    "{:<22} {:<12} {:>8} {:>7} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6} {:>8} {:>8} {:>6} {:>6} {:>5}",
                     node,
                     "healthy",
                     health.version,
@@ -584,7 +599,10 @@ fn cluster_cmd(mut args: Vec<String>) {
                     row[3],
                     row[4],
                     row[5],
-                    row[6]
+                    row[6],
+                    row[7],
+                    row[8],
+                    row[9]
                 );
             }
             Err(e) => {

@@ -37,9 +37,11 @@ pub use scheduler::{
     ClusterStats,
 };
 
+use crate::opts::{StoreUrl, DEFAULT_HTTP_TIMEOUT_MS};
 use crate::serve::{ServeConfig, Server};
 use crate::store::StoreError;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Parse a `--cluster` node list: comma-separated `host:port` entries,
 /// each optionally prefixed with `http://`.
@@ -99,6 +101,24 @@ impl LocalCluster {
         threads: usize,
         shards: usize,
     ) -> Result<LocalCluster, StoreError> {
+        Self::start_with_store(n, base, threads, shards, None)
+    }
+
+    /// [`start`](LocalCluster::start) with a store URL every node opens
+    /// instead of its private `dir://` cache — how the fleet tests share
+    /// one result/warm/trace cache (`--store http://...`) in-process.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] as for [`start`](LocalCluster::start), plus when
+    /// the store URL itself is unusable.
+    pub fn start_with_store(
+        n: usize,
+        base: impl Into<PathBuf>,
+        threads: usize,
+        shards: usize,
+        store: Option<StoreUrl>,
+    ) -> Result<LocalCluster, StoreError> {
         let base = base.into();
         let mut cluster = LocalCluster {
             base: base.clone(),
@@ -113,6 +133,8 @@ impl LocalCluster {
                 shards,
                 max_inflight: 0,
                 deadline: None,
+                store: store.clone(),
+                http_timeout: Duration::from_millis(DEFAULT_HTTP_TIMEOUT_MS),
             })?;
             cluster.addrs.push(server.addr().to_string());
             cluster.nodes.push(Some(server));

@@ -39,7 +39,7 @@ use crate::opts::HarnessOpts;
 use crate::store::{ResultStore, StoreError};
 use crate::sweep::{SimPoint, Sweep};
 use btbx_uarch::SimResult;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -426,7 +426,14 @@ pub fn run_sweep_observed(
         });
     };
 
-    let store = ResultStore::open(opts.out_dir.join("cache")).map_err(ClusterError::Store)?;
+    // `--store` points the coordinator at the same shared cache the
+    // fleet reads/writes; the default stays the coordinator's private
+    // `dir://` cache under `out_dir`.
+    let store = match &opts.store {
+        None => ResultStore::open(opts.out_dir.join("cache")),
+        Some(url) => ResultStore::open_url(url, opts.http_timeout()),
+    }
+    .map_err(ClusterError::Store)?;
     let point_names: Vec<String> = sweep
         .points()
         .iter()
@@ -510,6 +517,14 @@ pub fn run_sweep_observed(
         );
     }
 
+    // With a shared store, seed it with every trace container the
+    // pending work references: nodes without a local copy (or whose
+    // dispatched path does not resolve on their filesystem) then fetch
+    // the container by content hash instead of failing the point.
+    if opts.store.is_some() {
+        publish_pending_traces(&sweep.name, &store, &pending);
+    }
+
     let to_compute = pending.len();
     let queue = Queue {
         name: format!("{}@cluster", sweep.name),
@@ -560,6 +575,50 @@ pub fn run_sweep_observed(
         nodes,
         stats: st.stats,
     })
+}
+
+/// Best-effort upload of every distinct trace container referenced by
+/// `pending` into the shared store (skipping blobs already present, so
+/// repeat sweeps cost one `has` probe per container). Failures warn and
+/// continue: nodes holding a local copy of the trace still serve, and a
+/// genuinely unresolvable container surfaces as that point's error.
+fn publish_pending_traces(name: &str, store: &ResultStore, pending: &[WorkItem]) {
+    let backend = store.backend();
+    let mut seen = HashSet::new();
+    for item in pending {
+        let Some(tref) = &item.point.workload.trace else {
+            continue;
+        };
+        if tref.is_store_only() || !seen.insert(tref.content_hash) {
+            continue;
+        }
+        let key = tref.blob_key();
+        match backend.has(&key) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("[{name}] probing shared store for {key}: {e}");
+                continue;
+            }
+        }
+        let bytes = match std::fs::read(&tref.path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!(
+                    "[{name}] trace {} unreadable here ({e}); relying on nodes' local copies",
+                    tref.path.display()
+                );
+                continue;
+            }
+        };
+        match backend.put(&key, &bytes) {
+            Ok(()) => eprintln!(
+                "[{name}] published trace {key} ({} bytes) to the shared store",
+                bytes.len()
+            ),
+            Err(e) => eprintln!("[{name}] publishing trace {key}: {e}"),
+        }
+    }
 }
 
 /// One node's worker loop: pull greedily while the node serves, probe

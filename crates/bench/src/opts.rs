@@ -50,6 +50,123 @@ pub struct HarnessOpts {
     /// Arm this JSON fault plan (a `btbx_bench::faults::FaultPlan`) for
     /// the whole run — chaos testing only.
     pub fault_plan: Option<PathBuf>,
+    /// Where content-addressed cache blobs (results, warm snapshots,
+    /// trace containers) live. `None` keeps today's default: a `dir://`
+    /// store under `<out>/cache`.
+    pub store: Option<StoreUrl>,
+}
+
+/// Where a run's content-addressed blobs live, parsed from `--store`.
+///
+/// | Form | Backend |
+/// |------|---------|
+/// | `dir://<path>` (or a bare path) | local directory — the default layout |
+/// | `mem://` | in-process map (tests) |
+/// | `http://<host>:<port>` | a peer serve node's `GET/PUT /blob/<key>` endpoints |
+/// | `tiered://<path>,http://<host>:<port>` | local dir in front of a remote |
+///
+/// Unknown schemes are loud parse errors, never silently treated as
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreUrl {
+    /// `dir://<path>`: the local-directory layout (today's default).
+    Dir(PathBuf),
+    /// `mem://`: an in-process map (tests).
+    Mem,
+    /// `http://<host>:<port>`: a remote blob endpoint.
+    Http(String),
+    /// `tiered://<path>,http://<host>:<port>`: a local dir in front of a
+    /// remote — reads backfill the local tier, writes replicate out.
+    Tiered {
+        /// The local (front) tier's directory.
+        local: PathBuf,
+        /// The remote (back) tier's `host:port`.
+        remote: String,
+    },
+}
+
+impl StoreUrl {
+    /// Parse a store URL, rejecting unknown schemes loudly.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason (scheme unknown, location missing or
+    /// malformed); the caller wraps it in [`OptError::BadStore`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(rest) = s.strip_prefix("dir://") {
+            if rest.is_empty() {
+                return Err("dir:// needs a path, e.g. dir://results/cache".to_string());
+            }
+            return Ok(StoreUrl::Dir(PathBuf::from(rest)));
+        }
+        if let Some(rest) = s.strip_prefix("mem://") {
+            if !rest.is_empty() {
+                return Err(format!("mem:// takes no location, got `{rest}`"));
+            }
+            return Ok(StoreUrl::Mem);
+        }
+        if let Some(rest) = s.strip_prefix("http://") {
+            return Ok(StoreUrl::Http(parse_http_addr(rest)?));
+        }
+        if let Some(rest) = s.strip_prefix("tiered://") {
+            let (local, remote) = rest
+                .split_once(',')
+                .ok_or_else(|| "tiered:// needs `<local-dir>,http://<host>:<port>`".to_string())?;
+            if local.is_empty() {
+                return Err("tiered:// needs a non-empty local dir before the comma".to_string());
+            }
+            let remote = remote.strip_prefix("http://").ok_or_else(|| {
+                format!("tiered:// remote tier must be http://<host>:<port>, got `{remote}`")
+            })?;
+            return Ok(StoreUrl::Tiered {
+                local: PathBuf::from(local),
+                remote: parse_http_addr(remote)?,
+            });
+        }
+        if let Some((scheme, _)) = s.split_once("://") {
+            return Err(format!(
+                "unknown store scheme `{scheme}://` (expected dir://, mem://, http:// or tiered://)"
+            ));
+        }
+        if s.is_empty() {
+            return Err("empty store URL".to_string());
+        }
+        // A bare path is a directory store, same as `--out` paths.
+        Ok(StoreUrl::Dir(PathBuf::from(s)))
+    }
+}
+
+/// Validate the `<host>:<port>` part of an `http://` store URL.
+fn parse_http_addr(rest: &str) -> Result<String, String> {
+    let addr = rest.trim_end_matches('/');
+    if addr.contains('/') {
+        return Err(format!(
+            "http:// store takes `<host>:<port>` only (no path), got `{rest}`"
+        ));
+    }
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| format!("http:// store needs `<host>:<port>`, got `{rest}`"))?;
+    if host.is_empty() {
+        return Err(format!("http:// store needs a host, got `{rest}`"));
+    }
+    if port.parse::<u16>().is_err() {
+        return Err(format!("http:// store port must be 1-65535, got `{port}`"));
+    }
+    Ok(addr.to_string())
+}
+
+impl std::fmt::Display for StoreUrl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreUrl::Dir(path) => write!(f, "dir://{}", path.display()),
+            StoreUrl::Mem => f.write_str("mem://"),
+            StoreUrl::Http(addr) => write!(f, "http://{addr}"),
+            StoreUrl::Tiered { local, remote } => {
+                write!(f, "tiered://{},http://{remote}", local.display())
+            }
+        }
+    }
 }
 
 /// Default [`HarnessOpts::http_timeout_ms`]: generous enough for the
@@ -74,6 +191,7 @@ impl Default for HarnessOpts {
             resume: false,
             batch: true,
             fault_plan: None,
+            store: None,
         }
     }
 }
@@ -89,6 +207,13 @@ pub enum OptError {
         flag: String,
         /// What was found instead of a value.
         found: Option<String>,
+    },
+    /// `--store` was given an unparseable or unknown-scheme URL.
+    BadStore {
+        /// What was passed.
+        found: String,
+        /// Why it was rejected.
+        why: String,
     },
     /// `--help` was requested; the caller should print usage and exit 0.
     HelpRequested,
@@ -108,6 +233,9 @@ impl std::fmt::Display for OptError {
             }
             OptError::BadValue { flag, found: None } => {
                 write!(f, "{flag} expects a value")
+            }
+            OptError::BadStore { found, why } => {
+                write!(f, "--store: {why} (got `{found}`)")
             }
             OptError::HelpRequested => f.write_str("help requested"),
         }
@@ -138,6 +266,10 @@ options:
                      (results are bit-identical either way)
   --fault-plan FILE  arm a JSON fault-injection plan for the run
                      (chaos testing; see EXPERIMENTS.md)
+  --store URL        content-addressed store for cache blobs:
+                     dir://PATH [default: <out>/cache], mem://,
+                     http://HOST:PORT (a peer's /blob endpoints), or
+                     tiered://PATH,http://HOST:PORT
   --out DIR          artifact + cache directory            [results]
   -h, --help         show this help";
 
@@ -192,6 +324,16 @@ impl HarnessOpts {
                         found: None,
                     })?;
                     opts.trace = Some(PathBuf::from(file));
+                }
+                "--store" => {
+                    let url = it.next().ok_or(OptError::BadValue {
+                        flag: "--store".to_string(),
+                        found: None,
+                    })?;
+                    opts.store = Some(
+                        StoreUrl::parse(&url)
+                            .map_err(|why| OptError::BadStore { found: url, why })?,
+                    );
                 }
                 "--out" => {
                     let dir = it.next().ok_or(OptError::BadValue {
@@ -514,5 +656,102 @@ mod tests {
         assert!(e.to_string().contains("--bogus"));
         let e = parse(&["--warmup", "x"]).unwrap_err();
         assert!(e.to_string().contains("expects a number"));
+    }
+
+    #[test]
+    fn store_url_parses_every_scheme() {
+        assert_eq!(
+            StoreUrl::parse("dir:///tmp/cache").unwrap(),
+            StoreUrl::Dir(PathBuf::from("/tmp/cache"))
+        );
+        assert_eq!(
+            StoreUrl::parse("results/cache").unwrap(),
+            StoreUrl::Dir(PathBuf::from("results/cache")),
+            "a bare path is a directory store"
+        );
+        assert_eq!(StoreUrl::parse("mem://").unwrap(), StoreUrl::Mem);
+        assert_eq!(
+            StoreUrl::parse("http://127.0.0.1:8080").unwrap(),
+            StoreUrl::Http("127.0.0.1:8080".to_string())
+        );
+        assert_eq!(
+            StoreUrl::parse("http://node:9000/").unwrap(),
+            StoreUrl::Http("node:9000".to_string()),
+            "trailing slash is tolerated"
+        );
+        assert_eq!(
+            StoreUrl::parse("tiered://local/cache,http://node:9000").unwrap(),
+            StoreUrl::Tiered {
+                local: PathBuf::from("local/cache"),
+                remote: "node:9000".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn store_url_rejects_malformed_forms_loudly() {
+        // (input, fragment the error must mention) — a grid like the
+        // pool_split tests, so every rejection path keeps a useful
+        // message.
+        let cases: &[(&str, &str)] = &[
+            ("", "empty"),
+            ("dir://", "needs a path"),
+            ("mem://extra", "takes no location"),
+            ("s3://bucket", "unknown store scheme `s3://`"),
+            ("ftp://x", "unknown store scheme `ftp://`"),
+            ("http://", "needs `<host>:<port>`"),
+            ("http://nohost", "needs `<host>:<port>`"),
+            ("http://:8080", "needs a host"),
+            ("http://host:notaport", "port must be"),
+            ("http://host:99999", "port must be"),
+            ("http://host:80/path", "no path"),
+            ("tiered://justlocal", "needs `<local-dir>,"),
+            ("tiered://,http://h:1", "non-empty local dir"),
+            ("tiered://d,mem://", "remote tier must be http://"),
+            ("tiered://d,http://h", "needs `<host>:<port>`"),
+        ];
+        for (input, fragment) in cases {
+            let err = StoreUrl::parse(input).expect_err(input);
+            assert!(
+                err.contains(fragment),
+                "`{input}` error `{err}` must mention `{fragment}`"
+            );
+        }
+    }
+
+    #[test]
+    fn store_url_display_round_trips() {
+        let urls = [
+            StoreUrl::Dir(PathBuf::from("/tmp/c")),
+            StoreUrl::Mem,
+            StoreUrl::Http("h:1234".to_string()),
+            StoreUrl::Tiered {
+                local: PathBuf::from("front"),
+                remote: "back:9".to_string(),
+            },
+        ];
+        for url in urls {
+            assert_eq!(StoreUrl::parse(&url.to_string()).unwrap(), url, "{url}");
+        }
+    }
+
+    #[test]
+    fn store_flag_wires_through() {
+        assert_eq!(parse(&[]).unwrap().store, None, "default is no override");
+        let o = parse(&["--store", "http://127.0.0.1:7700"]).unwrap();
+        assert_eq!(o.store, Some(StoreUrl::Http("127.0.0.1:7700".to_string())));
+        assert_eq!(
+            parse(&["--store"]),
+            Err(OptError::BadValue {
+                flag: "--store".to_string(),
+                found: None
+            })
+        );
+        let e = parse(&["--store", "gopher://x"]).unwrap_err();
+        assert!(matches!(e, OptError::BadStore { .. }), "{e:?}");
+        assert!(
+            e.to_string().contains("gopher://"),
+            "the offending scheme must be named: {e}"
+        );
     }
 }

@@ -30,6 +30,10 @@
 //! |                  | version, shards, orgs)                            |
 //! | `GET /stats`     | [`ServeStats`] JSON (request + cache counters)    |
 //! | `POST /shutdown` | `{"ok":true}`, then graceful drain and exit       |
+//! | `GET /blob/<key>`  | Raw blob bytes from this node's cache (404 on   |
+//! |                  | a miss); `HEAD` probes without fetching           |
+//! | `PUT /blob/<key>`  | Atomically publish a blob into this node's      |
+//! |                  | cache (`201`) — how a fleet shares one store      |
 //!
 //! `/sim` responses carry an `X-Btbx-Cache` header (`disk`, `computed`
 //! or `joined`) reporting how the result was obtained. Errors are JSON
@@ -57,11 +61,14 @@
 
 use crate::cluster::protocol::{self, ClusterError, PointError, RequestError};
 use crate::journal::{self, SweepJournal};
-use crate::opts::{pool_split, sane_timeout, HarnessOpts};
+use crate::opts::{pool_split, sane_timeout, HarnessOpts, StoreUrl};
 use crate::runner::ServicePool;
-use crate::store::{Fetch, ResultStore, StoreCounters, StoreError};
+use crate::store::{
+    atomic_publish, open_store, Fetch, ResultStore, Store, StoreCounters, StoreError,
+};
 use crate::sweep::{SimPoint, Sweep};
 use btbx_core::faults;
+use btbx_trace::container;
 use btbx_uarch::sim::ABORT_MARKER;
 use btbx_uarch::{AnyWarmLadder, SimResult};
 use serde::{Deserialize, Serialize};
@@ -69,13 +76,18 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// Largest accepted request body; a [`SimPoint`] is well under this.
 const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted `/blob/` body: trace containers are the biggest
+/// blobs a fleet shares, and 256 MiB covers any container this harness
+/// produces while still bounding a hostile request.
+const MAX_BLOB_BYTES: usize = 1 << 28;
 
 /// Socket read timeout: a stalled or idle client must not pin a worker.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
@@ -103,6 +115,14 @@ pub struct ServeConfig {
     /// running when it expires is aborted and answered with `503` on the
     /// open connection. `None` = no deadline.
     pub deadline: Option<Duration>,
+    /// Store backend for cache blobs (results, trace fetches). `None`
+    /// keeps the default `dir://` store over `cache_dir`; an `http://`
+    /// or `tiered://` URL makes this node read/write a fleet-shared
+    /// cache and fetch missing trace containers by content hash.
+    pub store: Option<StoreUrl>,
+    /// Timeout for this node's *outbound* store traffic (blob fetches
+    /// and publishes when `store` is remote).
+    pub http_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -117,6 +137,8 @@ impl ServeConfig {
             shards: opts.shards.max(1),
             max_inflight: 0,
             deadline: None,
+            store: opts.store.clone(),
+            http_timeout: opts.http_timeout(),
         }
     }
 }
@@ -147,6 +169,13 @@ pub struct ServeStats {
 
 struct ServerState {
     store: ResultStore,
+    /// This node's local cache directory: blob endpoints publish into
+    /// it and fetched trace containers spool under `<cache_dir>/trace`.
+    cache_dir: PathBuf,
+    /// The backend behind [`ServerState::store`] when `--store` was
+    /// given — also used to fetch trace containers by content hash.
+    /// `None` means traces must exist locally (today's behavior).
+    blob_backend: Option<Arc<dyn Store>>,
     shards: usize,
     shard_threads: usize,
     max_inflight: usize,
@@ -299,7 +328,25 @@ impl Server {
     /// [`StoreError`] when the cache directory is unusable or the
     /// socket cannot be bound.
     pub fn start(config: ServeConfig) -> Result<Server, StoreError> {
-        let store = ResultStore::open(&config.cache_dir)?;
+        // One backend serves both consumers (results and trace fetches)
+        // so remote traffic aggregates on one counter set; the default
+        // and `dir://` paths keep the process-wide per-directory flight
+        // sharing that `ResultStore::open` provides.
+        let (store, blob_backend): (ResultStore, Option<Arc<dyn Store>>) = match &config.store {
+            None => (ResultStore::open(&config.cache_dir)?, None),
+            Some(StoreUrl::Dir(dir)) => {
+                let store = ResultStore::open(dir)?;
+                let backend = Arc::clone(store.backend());
+                (store, Some(backend))
+            }
+            Some(url) => {
+                let backend = open_store(url, config.http_timeout)?;
+                (
+                    ResultStore::open_backend(Arc::clone(&backend)),
+                    Some(backend),
+                )
+            }
+        };
         let listener =
             TcpListener::bind(("127.0.0.1", config.port)).map_err(|source| StoreError::Io {
                 action: "binding service socket",
@@ -314,6 +361,8 @@ impl Server {
         let (workers, shard_threads) = pool_split(config.threads, config.shards);
         let state = Arc::new(ServerState {
             store,
+            cache_dir: config.cache_dir.clone(),
+            blob_backend,
             shards: config.shards.max(1),
             shard_threads,
             max_inflight: config.max_inflight,
@@ -456,7 +505,7 @@ fn route(
                 );
                 return Ok(());
             };
-            let point: SimPoint = serde_json::from_str(&request.body).map_err(|e| {
+            let point: SimPoint = serde_json::from_slice(&request.body).map_err(|e| {
                 (
                     400,
                     format!("{{\"error\":{:?}}}", format!("bad SimPoint: {e}")),
@@ -476,9 +525,107 @@ fn route(
             let _ = respond_json(stream, 200, &body, Some(("X-Btbx-Cache", cache_header)));
             Ok(())
         }
+        (method @ ("GET" | "HEAD" | "PUT"), path) if path.starts_with("/blob/") => {
+            let key = &path["/blob/".len()..];
+            if !valid_blob_key(key) {
+                return Err((
+                    400,
+                    format!("{{\"error\":{:?}}}", format!("invalid blob key `{key}`")),
+                ));
+            }
+            match method {
+                "PUT" => blob_put(state, key, &request.body, stream),
+                head_or_get => blob_get(state, key, stream, head_or_get == "HEAD"),
+            }
+        }
         (_, path) => Err((
             404,
             format!("{{\"error\":{:?}}}", format!("no route {path}")),
+        )),
+    }
+}
+
+/// Blob keys are flat content-addressed file names: no path separators,
+/// no leading dot (dotfiles and `..` cannot be named), a conservative
+/// charset, and a bounded length. Everything a harness consumer
+/// publishes (`<workload>-<org>-<hash>.json`, `warm-<hash>.snap`,
+/// `trace-<hash>.btbt`) passes; traversal attempts do not.
+fn valid_blob_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= 160
+        && !key.starts_with('.')
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Map a blob key onto this node's cache layout, so blobs published
+/// over HTTP land exactly where local consumers write (and read) them:
+/// warm snapshots under `<cache>/warm`, trace containers under
+/// `<cache>/trace`, everything else (sweep results) at the top level.
+/// That placement is what keeps a coordinator's blob-fed cache
+/// byte-identical to a CLI run's.
+fn blob_dir(cache_dir: &Path, key: &str) -> PathBuf {
+    if key.starts_with("warm-") && key.ends_with(".snap") {
+        cache_dir.join("warm")
+    } else if key.starts_with("trace-") && key.ends_with(".btbt") {
+        cache_dir.join("trace")
+    } else {
+        cache_dir.to_path_buf()
+    }
+}
+
+/// Serve `GET`/`HEAD /blob/<key>` from this node's cache directory.
+/// A missing blob is a well-formed 404 (an expected miss, not counted
+/// as a server error); read failures are 500s.
+fn blob_get(
+    state: &ServerState,
+    key: &str,
+    stream: &mut TcpStream,
+    head_only: bool,
+) -> Result<(), (u16, String)> {
+    let path = blob_dir(&state.cache_dir, key).join(key);
+    match faults::read(&path) {
+        Ok(bytes) => {
+            let _ = respond_bytes(stream, 200, &bytes, head_only);
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            let _ = respond_bytes(stream, 404, b"", head_only);
+            Ok(())
+        }
+        Err(e) => Err((
+            500,
+            format!("{{\"error\":{:?}}}", format!("reading blob {key}: {e}")),
+        )),
+    }
+}
+
+/// Serve `PUT /blob/<key>`: publish the body atomically into this
+/// node's cache directory (temp file + rename, exactly like a local
+/// store write), answering `201 Created`.
+fn blob_put(
+    state: &ServerState,
+    key: &str,
+    body: &[u8],
+    stream: &mut TcpStream,
+) -> Result<(), (u16, String)> {
+    let dir = blob_dir(&state.cache_dir, key);
+    let publish = faults::create_dir_all(&dir)
+        .map_err(|e| StoreError::Io {
+            action: "creating blob dir",
+            path: dir.clone(),
+            source: e,
+        })
+        .and_then(|()| atomic_publish(&dir, key, body));
+    match publish {
+        Ok(()) => {
+            let _ = respond_json(stream, 201, "{\"ok\":true}", None);
+            Ok(())
+        }
+        Err(e) => Err((
+            500,
+            format!("{{\"error\":{:?}}}", format!("publishing blob {key}: {e}")),
         )),
     }
 }
@@ -493,6 +640,9 @@ fn simulate(state: &ServerState, point: &SimPoint) -> Result<(SimResult, Fetch),
     let abort = state.arm_deadline();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         state.store.get_or_compute(&name, false, || {
+            // Resolve inside the compute closure: cache hits and joins
+            // never need the trace bytes at all.
+            let point = resolve_trace(state, point);
             point.run_sharded_abortable(
                 state.shards,
                 state.shard_threads,
@@ -523,11 +673,113 @@ fn simulate(state: &ServerState, point: &SimPoint) -> Result<(SimResult, Fetch),
     }
 }
 
+/// Make a point's trace container (if any) openable locally, fetching
+/// it by content hash from the blob backend when it is not:
+///
+/// 1. A local path whose container still matches the reference's
+///    content hash wins outright — no fetch, no rewrite.
+/// 2. Otherwise the spool (`<cache>/trace/trace-<hash>.btbt`) is
+///    probed; a previously fetched (or blob-PUT-seeded) container is
+///    reused.
+/// 3. Otherwise the blob backend fetches `trace-<hash>.btbt`, the bytes
+///    are spooled atomically, and the spooled container's header hash
+///    is verified against the reference before use.
+///
+/// Runs inside the single-flight compute closure, so cache hits and
+/// joins never touch the trace. Failures panic with a clear message:
+/// the request answers 500 and a cluster scheduler retries the point on
+/// a node that *can* resolve the trace — exactly the pre-backend
+/// semantics for a missing local file.
+fn resolve_trace(state: &ServerState, point: &SimPoint) -> SimPoint {
+    let Some(tref) = &point.workload.trace else {
+        return point.clone();
+    };
+    if !tref.is_store_only() {
+        if let Ok(info) = container::read_info(&tref.path) {
+            if info.content_hash == tref.content_hash {
+                return point.clone();
+            }
+        }
+    }
+    let key = tref.blob_key();
+    let spool_dir = state.cache_dir.join("trace");
+    let spool = spool_dir.join(&key);
+    let rewired = |spool: PathBuf| {
+        let mut point = point.clone();
+        if let Some(tref) = &mut point.workload.trace {
+            tref.path = spool;
+        }
+        point
+    };
+    if let Ok(info) = container::read_info(&spool) {
+        if info.content_hash == tref.content_hash {
+            return rewired(spool);
+        }
+    }
+    let Some(backend) = &state.blob_backend else {
+        panic!(
+            "trace container for `{}` is not readable at {} and no --store is \
+             configured to fetch blob {key}",
+            point.workload.name,
+            tref.path.display()
+        );
+    };
+    let bytes = match backend.get(&key) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => panic!(
+            "trace container for `{}` is not readable locally and {} does not \
+             have blob {key}",
+            point.workload.name,
+            backend.id()
+        ),
+        Err(e) => panic!("fetching trace blob {key} from {}: {e}", backend.id()),
+    };
+    if let Err(e) = faults::create_dir_all(&spool_dir) {
+        panic!("creating trace spool dir {}: {e}", spool_dir.display());
+    }
+    if let Err(e) = atomic_publish(&spool_dir, &key, &bytes) {
+        panic!("spooling trace blob {key}: {e}");
+    }
+    // Verify the *spooled file* (not just the bytes): the header hash
+    // must match the requested identity, or the fetched blob is damaged
+    // (or mislabeled) and must not silently simulate a different trace.
+    match container::read_info(&spool) {
+        Ok(info) if info.content_hash == tref.content_hash => rewired(spool),
+        Ok(info) => {
+            let mut corrupt = spool.clone().into_os_string();
+            corrupt.push(".corrupt");
+            let _ = std::fs::rename(&spool, &corrupt);
+            panic!(
+                "{}",
+                StoreError::Damaged {
+                    url: backend.label(&key),
+                    detail: format!(
+                        "content hash {:016x} != expected {:016x}",
+                        info.content_hash, tref.content_hash
+                    ),
+                }
+            );
+        }
+        Err(e) => {
+            let mut corrupt = spool.clone().into_os_string();
+            corrupt.push(".corrupt");
+            let _ = std::fs::rename(&spool, &corrupt);
+            panic!(
+                "{}",
+                StoreError::Damaged {
+                    url: backend.label(&key),
+                    detail: e.to_string(),
+                }
+            );
+        }
+    }
+}
+
 /// One parsed HTTP request.
 struct HttpRequest {
     method: String,
     path: String,
-    body: String,
+    body: Vec<u8>,
 }
 
 /// Parse a request head + body. `Ok(None)` means the peer closed
@@ -568,13 +820,18 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequ
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
+    // Blob payloads (trace containers) dwarf every JSON body, so the
+    // cap is per-namespace: generous for `/blob/`, tight elsewhere.
+    let cap = if path.starts_with("/blob/") {
+        MAX_BLOB_BYTES
+    } else {
+        MAX_BODY_BYTES
+    };
+    if content_length > cap {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
     Ok(Some(HttpRequest { method, path, body }))
 }
 
@@ -585,17 +842,10 @@ fn respond_json(
     body: &str,
     extra: Option<(&str, &str)>,
 ) -> io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        429 => "Too Many Requests",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nConnection: close\r\n",
+        status_reason(status),
         body.len()
     );
     if let Some((name, value)) = extra {
@@ -604,6 +854,39 @@ fn respond_json(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a binary (octet-stream) response and close. `head_only`
+/// answers a `HEAD`: the real `Content-Length` with no body bytes.
+fn respond_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    head_only: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/octet-stream\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    if !head_only {
+        stream.write_all(body)?;
+    }
     stream.flush()
 }
 
@@ -666,6 +949,58 @@ pub fn http_request_timeout(
     body: &str,
     timeout: Duration,
 ) -> io::Result<HttpResponse> {
+    let response = http_request_bytes(addr, method, path, body.as_bytes(), timeout)?;
+    let body = String::from_utf8(response.body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(HttpResponse {
+        status: response.status,
+        headers: response.headers,
+        body,
+    })
+}
+
+/// A parsed binary HTTP response from [`http_request_bytes`].
+#[derive(Debug)]
+pub struct HttpBytesResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body, raw bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpBytesResponse {
+    /// Look up a header by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The binary core of the HTTP client: request and response bodies are
+/// raw bytes, which the blob transport ([`crate::store::HttpStore`])
+/// needs — trace containers and warm snapshots are not UTF-8. The
+/// string-bodied [`http_request_timeout`] is a thin wrapper. Every
+/// phase (connect, write, read) honours `timeout`, and the
+/// `Connect`/`HttpRead` fault-injection checkpoints fire here, so
+/// remote store operations are injectable exactly like local ones.
+///
+/// # Errors
+///
+/// [`io::Error`] on connection or protocol failures;
+/// [`io::ErrorKind::TimedOut`]/[`io::ErrorKind::WouldBlock`] when a
+/// phase exceeds `timeout`.
+pub fn http_request_bytes(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpBytesResponse> {
     let addr = addr
         .trim_start_matches("http://")
         .trim_end_matches('/')
@@ -681,14 +1016,20 @@ pub fn http_request_timeout(
     let mut stream = TcpStream::connect_timeout(&socket_addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
+    let content_type = if path.starts_with("/blob/") {
+        "application/octet-stream"
+    } else {
+        "application/json"
+    };
     stream.write_all(
         format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
             body.len()
         )
         .as_bytes(),
     )?;
+    stream.write_all(body)?;
     faults::check_http_read(&addr)?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
@@ -718,20 +1059,24 @@ pub fn http_request_timeout(
             headers.push((name, value));
         }
     }
-    let body = match content_length {
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf)?;
-            String::from_utf8(buf)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?
-        }
-        None => {
-            let mut buf = String::new();
-            reader.read_to_string(&mut buf)?;
-            buf
+    // A HEAD response advertises the blob's length but carries no body.
+    let body = if method.eq_ignore_ascii_case("HEAD") {
+        Vec::new()
+    } else {
+        match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                buf
+            }
+            None => {
+                let mut buf = Vec::new();
+                reader.read_to_end(&mut buf)?;
+                buf
+            }
         }
     };
-    Ok(HttpResponse {
+    Ok(HttpBytesResponse {
         status,
         headers,
         body,

@@ -33,24 +33,39 @@
 //! Cross-*process* writers are safe (atomic rename makes the entry appear
 //! complete or not at all) but not deduplicated — both processes compute
 //! and the second rename wins with byte-identical content.
+//!
+//! # Backends
+//!
+//! The byte storage itself is pluggable: [`ResultStore`] (and
+//! [`crate::warm::WarmCache`], and the serve node's trace resolution)
+//! sit on the [`Store`] trait from [`backend`], selected by URL scheme
+//! (`dir://` — the default local layout, `mem://`, `http://` — a peer
+//! serve node's blob endpoints, `tiered://` — a local dir in front of a
+//! remote). Every guarantee above is backend-independent; `dir://` is
+//! byte-compatible with every cache written before backends existed.
 
-use btbx_core::faults;
+pub mod backend;
+
+pub use backend::{
+    atomic_publish, open_store, open_store_with, DirStore, HttpStore, MemStore, Quarantine,
+    RemoteCounters, Store, TieredStore,
+};
+
 use btbx_uarch::SimResult;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::fs;
 use std::io;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 
-/// A cache-store failure, always carrying the path it happened on.
+/// A cache-store failure, always carrying where it happened.
 #[derive(Debug)]
 pub enum StoreError {
-    /// Reading, writing, renaming or creating under the cache directory
-    /// failed for a reason other than the entry being absent.
+    /// Reading, writing, renaming or creating under a local store
+    /// directory failed for a reason other than the entry being absent.
     Io {
         /// What the store was doing.
         action: &'static str,
@@ -58,6 +73,24 @@ pub enum StoreError {
         path: PathBuf,
         /// The underlying error.
         source: io::Error,
+    },
+    /// A remote (HTTP) store operation failed: transport error or an
+    /// unexpected status. Absent blobs (404) are *not* errors.
+    Remote {
+        /// What the store was doing.
+        action: &'static str,
+        /// The blob URL the action failed on.
+        url: String,
+        /// Transport error or `HTTP <status>: <body prefix>`.
+        detail: String,
+    },
+    /// A fetched blob failed its integrity check (e.g. a trace container
+    /// whose content hash does not match the requested identity).
+    Damaged {
+        /// Where the damaged blob came from.
+        url: String,
+        /// What failed to validate.
+        detail: String,
     },
     /// A result refused to serialize (a bug, not an environment issue).
     Serialize(serde_json::Error),
@@ -71,6 +104,14 @@ impl fmt::Display for StoreError {
                 path,
                 source,
             } => write!(f, "{action} {}: {source}", path.display()),
+            StoreError::Remote {
+                action,
+                url,
+                detail,
+            } => write!(f, "{action} {url}: {detail}"),
+            StoreError::Damaged { url, detail } => {
+                write!(f, "damaged blob {url}: {detail}")
+            }
             StoreError::Serialize(e) => write!(f, "serializing result: {e}"),
         }
     }
@@ -110,6 +151,20 @@ pub struct StoreCounters {
     /// received the in-memory result; see [`ResultStore::get_or_compute`]).
     #[serde(default)]
     pub store_failures: u64,
+    /// Blobs served by a remote backend (`http://`/`tiered://` only;
+    /// aggregated across every consumer sharing the backend's
+    /// [`RemoteCounters`] — results, warm snapshots, trace fetches).
+    #[serde(default)]
+    pub remote_hits: u64,
+    /// Blobs a remote backend did not have (404).
+    #[serde(default)]
+    pub remote_misses: u64,
+    /// Total bytes fetched from a remote backend.
+    #[serde(default)]
+    pub remote_fetch_bytes: u64,
+    /// Failed remote operations (transport errors, unexpected statuses).
+    #[serde(default)]
+    pub remote_errors: u64,
 }
 
 enum FlightState {
@@ -135,7 +190,7 @@ struct Shared {
     joins: AtomicU64,
     quarantined: AtomicU64,
     store_failures: AtomicU64,
-    logged: Mutex<HashSet<PathBuf>>,
+    logged: Mutex<HashSet<String>>,
 }
 
 impl Shared {
@@ -159,11 +214,12 @@ fn registry() -> &'static Mutex<HashMap<PathBuf, Weak<Shared>>> {
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// A durable result cache over one directory: atomic writes, corrupt-entry
-/// quarantine, and process-wide single-flight computation. See the module
-/// docs for the guarantees.
+/// A durable result cache over one [`Store`] backend: atomic writes,
+/// corrupt-entry quarantine, and process-wide single-flight computation.
+/// See the module docs for the guarantees.
+#[derive(Clone)]
 pub struct ResultStore {
-    dir: PathBuf,
+    backend: Arc<dyn Store>,
     shared: Arc<Shared>,
 }
 
@@ -176,17 +232,8 @@ impl ResultStore {
     /// [`StoreError::Io`] when the directory cannot be created or
     /// canonicalized.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let dir = dir.as_ref();
-        faults::create_dir_all(dir).map_err(|source| StoreError::Io {
-            action: "creating cache dir",
-            path: dir.to_path_buf(),
-            source,
-        })?;
-        let canonical = dir.canonicalize().map_err(|source| StoreError::Io {
-            action: "resolving cache dir",
-            path: dir.to_path_buf(),
-            source,
-        })?;
+        let backend = DirStore::open(dir)?;
+        let canonical = backend.dir().to_path_buf();
         let mut reg = registry().lock().unwrap();
         // The registry holds weak references, so entries for dropped
         // stores linger as dead weaks; prune them here or the map grows
@@ -197,59 +244,102 @@ impl ResultStore {
             Some(shared) => shared,
             None => {
                 let shared = Arc::new(Shared::new());
-                reg.insert(canonical.clone(), Arc::downgrade(&shared));
+                reg.insert(canonical, Arc::downgrade(&shared));
                 shared
             }
         };
         Ok(ResultStore {
-            dir: canonical,
+            backend: Arc::new(backend),
             shared,
         })
     }
 
-    /// The canonical directory this store caches under.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// Open the store over an explicit backend. Unlike [`open`], each
+    /// call gets its own in-flight table and counter set (clone the
+    /// returned store — or its backend `Arc` — to share them): URL
+    /// backends belong to one configured consumer (a serve node, one
+    /// sweep), not to a process-wide directory identity.
+    ///
+    /// [`open`]: ResultStore::open
+    pub fn open_backend(backend: Arc<dyn Store>) -> Self {
+        ResultStore {
+            backend,
+            shared: Arc::new(Shared::new()),
+        }
     }
 
-    /// Current counters for this store's directory (shared across every
-    /// store opened on it in this process).
+    /// Open the store a [`crate::opts::StoreUrl`] names; `dir://` routes
+    /// through [`open`](ResultStore::open) and keeps the process-wide
+    /// per-directory sharing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a directory tier cannot be opened.
+    pub fn open_url(
+        url: &crate::opts::StoreUrl,
+        timeout: std::time::Duration,
+    ) -> Result<Self, StoreError> {
+        match url {
+            crate::opts::StoreUrl::Dir(dir) => Self::open(dir),
+            other => Ok(Self::open_backend(open_store(other, timeout)?)),
+        }
+    }
+
+    /// The backend this store publishes through.
+    pub fn backend(&self) -> &Arc<dyn Store> {
+        &self.backend
+    }
+
+    /// The local directory entries publish into, when the backend has
+    /// one (`dir://`, `tiered://`).
+    pub fn local_dir(&self) -> Option<&Path> {
+        self.backend.local_dir()
+    }
+
+    /// Current counters for this store (shared across every store on
+    /// the same canonical directory in this process; remote fields
+    /// aggregate every consumer wired to the backend's counter set).
     pub fn counters(&self) -> StoreCounters {
-        StoreCounters {
+        let mut counters = StoreCounters {
             computes: self.shared.computes.load(Ordering::Relaxed),
             disk_hits: self.shared.disk_hits.load(Ordering::Relaxed),
             joins: self.shared.joins.load(Ordering::Relaxed),
             quarantined: self.shared.quarantined.load(Ordering::Relaxed),
             store_failures: self.shared.store_failures.load(Ordering::Relaxed),
+            remote_hits: 0,
+            remote_misses: 0,
+            remote_fetch_bytes: 0,
+            remote_errors: 0,
+        };
+        if let Some(remote) = self.backend.remote_counters() {
+            counters.remote_hits = remote.hits.load(Ordering::Relaxed);
+            counters.remote_misses = remote.misses.load(Ordering::Relaxed);
+            counters.remote_fetch_bytes = remote.fetch_bytes.load(Ordering::Relaxed);
+            counters.remote_errors = remote.errors.load(Ordering::Relaxed);
         }
+        counters
     }
 
     /// Read the entry named `name`, distinguishing absent from damaged.
     ///
     /// Returns `Ok(None)` when the entry does not exist **or** when it
-    /// exists but is unreadable as a result — in the latter case the file
-    /// is logged (once per path) and renamed to `<name>.corrupt` so the
-    /// next write lands cleanly and the damage stays inspectable.
+    /// exists but is unreadable as a result — in the latter case the
+    /// entry is logged (once per label) and quarantined by the backend
+    /// (renamed to `<name>.corrupt` on local backends) so the next write
+    /// lands cleanly and the damage stays inspectable.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] for read failures other than `NotFound`
-    /// (permissions, I/O errors): those are environment problems the
-    /// caller must hear about, not cache misses.
+    /// [`StoreError`] for read failures other than the entry being
+    /// absent (permissions, I/O errors, transport failures): those are
+    /// environment problems the caller must hear about, not cache
+    /// misses.
     pub fn load(&self, name: &str) -> Result<Option<SimResult>, StoreError> {
-        let path = self.dir.join(name);
-        let text = match faults::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(source) => {
-                return Err(StoreError::Io {
-                    action: "reading cache entry",
-                    path,
-                    source,
-                })
-            }
+        let bytes = match self.backend.get(name)? {
+            Some(bytes) => bytes,
+            None => return Ok(None),
         };
-        match serde_json::from_str(&text) {
+        match serde_json::from_slice(&bytes) {
             Ok(result) => {
                 self.shared.disk_hits.fetch_add(1, Ordering::Relaxed);
                 Ok(Some(result))
@@ -259,54 +349,47 @@ impl ResultStore {
                 // writer may have atomically replaced the damaged bytes
                 // with a clean entry since the read above — quarantining
                 // then would throw away a valid result.
-                if let Ok(second) = faults::read_to_string(&path) {
-                    if second != text {
-                        if let Ok(result) = serde_json::from_str(&second) {
+                if let Ok(Some(second)) = self.backend.get(name) {
+                    if second != bytes {
+                        if let Ok(result) = serde_json::from_slice(&second) {
                             self.shared.disk_hits.fetch_add(1, Ordering::Relaxed);
                             return Ok(Some(result));
                         }
                     }
                 }
-                self.quarantine(&path, &parse_err);
+                self.condemn(name, &parse_err);
                 Ok(None)
             }
         }
     }
 
-    /// Move a damaged entry aside (to `<path>.corrupt`) and log it, once
-    /// per path per process. Quarantine is best-effort: if the rename
-    /// fails the damaged file stays put and the atomic rewrite will
-    /// replace it anyway. The caller re-reads before quarantining, but a
-    /// writer landing in the remaining window only costs a recompute —
-    /// the renamed entry is treated as a miss, never as data loss.
-    fn quarantine(&self, path: &Path, why: &serde_json::Error) {
-        let mut quarantine = path.as_os_str().to_owned();
-        quarantine.push(".corrupt");
-        let quarantine = PathBuf::from(quarantine);
-        let renamed = faults::rename(path, &quarantine);
-        // Count per successful rename, not per first-log: a rename that
-        // failed quarantined nothing, and an entry damaged again after a
-        // clean rewrite is a new quarantine event even though its path
+    /// Quarantine a damaged entry through the backend and log it, once
+    /// per entry label per store. Quarantine is best-effort: if it fails
+    /// the damaged entry stays put and the atomic rewrite will replace
+    /// it anyway. The caller re-reads before quarantining, but a writer
+    /// landing in the remaining window only costs a recompute — a
+    /// quarantined entry is treated as a miss, never as data loss.
+    fn condemn(&self, name: &str, why: &serde_json::Error) {
+        let outcome = self.backend.quarantine(name);
+        // Count per successful quarantine, not per first-log: a failed
+        // quarantine moved nothing, and an entry damaged again after a
+        // clean rewrite is a new quarantine event even though its label
         // was already logged.
-        if renamed.is_ok() {
+        if matches!(outcome, Quarantine::Moved(_)) {
             self.shared.quarantined.fetch_add(1, Ordering::Relaxed);
         }
-        if self
-            .shared
-            .logged
-            .lock()
-            .unwrap()
-            .insert(path.to_path_buf())
-        {
-            match renamed {
-                Ok(()) => eprintln!(
-                    "[store] damaged cache entry {} ({why}); quarantined to {}",
-                    path.display(),
-                    quarantine.display()
-                ),
-                Err(e) => eprintln!(
-                    "[store] damaged cache entry {} ({why}); quarantine failed: {e}",
-                    path.display()
+        let label = self.backend.label(name);
+        if self.shared.logged.lock().unwrap().insert(label.clone()) {
+            match &outcome {
+                Quarantine::Moved(to) => {
+                    eprintln!("[store] damaged cache entry {label} ({why}); quarantined to {to}")
+                }
+                Quarantine::Failed(e) => {
+                    eprintln!("[store] damaged cache entry {label} ({why}); quarantine failed: {e}")
+                }
+                Quarantine::Unsupported => eprintln!(
+                    "[store] damaged cache entry {label} ({why}); backend cannot \
+                     quarantine, treating as absent"
                 ),
             }
         }
@@ -314,46 +397,20 @@ impl ResultStore {
 
     /// Durably write `result` as the entry named `name`.
     ///
-    /// The JSON is written to a fresh temp file in the cache directory
-    /// and renamed into place, so concurrent readers (and readers after a
-    /// crash) see either the previous state or the complete new entry —
-    /// never a prefix.
+    /// Local backends write the JSON to a fresh temp file in the cache
+    /// directory and rename it into place, so concurrent readers (and
+    /// readers after a crash) see either the previous state or the
+    /// complete new entry — never a prefix. Remote backends publish the
+    /// whole body in one request and the serving node applies the same
+    /// atomic publish on its side.
     ///
     /// # Errors
     ///
     /// [`StoreError`] on serialization or I/O failure; unlike the old
     /// `store_cached`, nothing is discarded.
     pub fn store(&self, name: &str, result: &SimResult) -> Result<(), StoreError> {
-        let json = serde_json::to_string(result).map_err(StoreError::Serialize)?;
-        let path = self.dir.join(name);
-        // Unique per writer so concurrent stores of one key never share a
-        // temp file; the final rename is the only point of contention and
-        // it is atomic.
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = self.dir.join(format!(
-            "{name}.tmp.{}.{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        faults::write(&tmp, json.as_bytes()).map_err(|source| {
-            // A failed (possibly torn) temp write must not linger: the
-            // half-file is unreachable as an entry but would read as
-            // litter — and as a counterexample to "no half-entries".
-            let _ = fs::remove_file(&tmp);
-            StoreError::Io {
-                action: "writing cache temp file",
-                path: tmp.clone(),
-                source,
-            }
-        })?;
-        faults::rename(&tmp, &path).map_err(|source| {
-            let _ = fs::remove_file(&tmp);
-            StoreError::Io {
-                action: "publishing cache entry",
-                path: path.clone(),
-                source,
-            }
-        })
+        let json = serde_json::to_vec(result).map_err(StoreError::Serialize)?;
+        self.backend.put(name, &json)
     }
 
     /// Return the result for `name`, computing (and caching) it at most
@@ -479,6 +536,7 @@ impl ResultStore {
 mod tests {
     use super::*;
     use btbx_uarch::stats::SimStats;
+    use std::fs;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Barrier;
 
@@ -643,7 +701,7 @@ mod tests {
         let dir_a = fresh_dir("prune-a");
         let dir_b = fresh_dir("prune-b");
         let store_a = ResultStore::open(&dir_a).unwrap();
-        let canonical_a = store_a.dir().to_path_buf();
+        let canonical_a = store_a.local_dir().unwrap().to_path_buf();
         drop(store_a);
         // The next open prunes dead weak entries, so the dropped store's
         // directory no longer occupies a registry slot.

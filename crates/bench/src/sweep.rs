@@ -462,8 +462,15 @@ impl Sweep {
     /// fails — the old code silently discarded those errors and
     /// recomputed forever.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<SimResult> {
-        let store = ResultStore::open(opts.out_dir.join("cache"))
-            .unwrap_or_else(|e| panic!("[{}] opening result cache: {e}", self.name));
+        // `--store` swaps the cache backend (mem/http/tiered) without
+        // touching any of the guarantees above; the default stays the
+        // local `<out>/cache` directory, byte-compatible with every
+        // cache written before backends existed.
+        let store = match &opts.store {
+            None => ResultStore::open(opts.out_dir.join("cache")),
+            Some(url) => ResultStore::open_url(url, opts.http_timeout()),
+        }
+        .unwrap_or_else(|e| panic!("[{}] opening result cache: {e}", self.name));
         let points = self.points();
         let shards = opts.shards.max(1);
         let names: Vec<String> = points.iter().map(|p| p.cache_file_for(shards)).collect();
@@ -707,6 +714,7 @@ mod tests {
             resume: false,
             batch: true,
             fault_plan: None,
+            store: None,
         }
     }
 

@@ -18,30 +18,28 @@
 //! checkpoint from a fresh source via `seek` (O(state) for every source
 //! kind).
 //!
-//! Writes are atomic (temp file + rename), mirroring
-//! [`crate::store::ResultStore`].
+//! Storage goes through the same pluggable [`Store`] backend layer as
+//! [`crate::store::ResultStore`]: the default is a local directory with
+//! atomic (temp file + rename) publishes, and a remote or tiered
+//! backend shares sealed snapshots across a fleet.
 
-use crate::store::StoreError;
+use crate::store::{DirStore, Quarantine, Store, StoreError};
 use crate::sweep::CACHE_VERSION;
-use btbx_core::faults;
 use btbx_core::snap::{fnv64, seal, unseal, SnapError, SnapReader, SnapWriter};
 use btbx_trace::source::SeekableSource;
 use btbx_trace::AnySource;
 use btbx_uarch::{AnyWarmLadder, WarmEntry};
-use std::fs;
-use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Bump when the warm-file payload layout changes (the sealed envelope
 /// already guards codec and content; this guards the field order below).
 const WARM_FILE_VERSION: u32 = 1;
 
-/// A directory of persisted warm ladders, one file per simulation
+/// A store of persisted warm ladders, one blob per simulation
 /// identity. See the module docs for format and guarantees.
 pub struct WarmCache {
-    dir: PathBuf,
+    backend: Arc<dyn Store>,
 }
 
 impl WarmCache {
@@ -52,19 +50,35 @@ impl WarmCache {
     ///
     /// [`StoreError::Io`] when the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let dir = dir.as_ref().to_path_buf();
-        faults::create_dir_all(&dir).map_err(|source| StoreError::Io {
-            action: "creating warm cache dir",
-            path: dir.clone(),
-            source,
-        })?;
-        Ok(WarmCache { dir })
+        Ok(WarmCache {
+            backend: Arc::new(DirStore::open(dir)?),
+        })
     }
 
-    /// The file a given identity persists to.
-    pub fn file_for(&self, identity: &str) -> PathBuf {
+    /// Open the warm cache over an explicit backend (a fleet-shared
+    /// remote, a tiered composition, or `mem://` in tests).
+    pub fn open_backend(backend: Arc<dyn Store>) -> Self {
+        WarmCache { backend }
+    }
+
+    /// The blob name a given identity persists under.
+    pub fn name_for(identity: &str) -> String {
         let hash = fnv64(identity.as_bytes()) ^ (CACHE_VERSION as u64).wrapping_mul(0x9e37_79b9);
-        self.dir.join(format!("warm-{hash:016x}.snap"))
+        format!("warm-{hash:016x}.snap")
+    }
+
+    /// The local file a given identity persists to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend has no local directory (`mem://`,
+    /// `http://`); use [`name_for`](WarmCache::name_for) for the
+    /// backend-independent blob name.
+    pub fn file_for(&self, identity: &str) -> PathBuf {
+        self.backend
+            .local_dir()
+            .expect("warm cache backend has no local directory")
+            .join(Self::name_for(identity))
     }
 
     /// Populate `ladder` from the persisted file for `identity`, if one
@@ -90,22 +104,15 @@ impl WarmCache {
         proto: &AnySource,
         ladder: &AnyWarmLadder,
     ) -> Result<usize, StoreError> {
-        let path = self.file_for(identity);
-        let bytes = match faults::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
-            Err(source) => {
-                return Err(StoreError::Io {
-                    action: "reading warm cache file",
-                    path,
-                    source,
-                })
-            }
+        let name = Self::name_for(identity);
+        let bytes = match self.backend.get(&name)? {
+            Some(bytes) => bytes,
+            None => return Ok(0),
         };
         let entries = match parse(&bytes, identity) {
             Ok(entries) => entries,
             Err(why) => {
-                quarantine(&path, &why);
+                quarantine(self.backend.as_ref(), &name, &why);
                 return Ok(0);
             }
         };
@@ -160,30 +167,7 @@ impl WarmCache {
             w.bytes(&e.snapshot);
         }
         let sealed = seal(&identity, &w.into_vec());
-
-        let path = self.file_for(&identity);
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = self.dir.join(format!(
-            "warm.tmp.{}.{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        faults::write(&tmp, &sealed).map_err(|source| {
-            let _ = fs::remove_file(&tmp);
-            StoreError::Io {
-                action: "writing warm cache temp file",
-                path: tmp.clone(),
-                source,
-            }
-        })?;
-        faults::rename(&tmp, &path).map_err(|source| {
-            let _ = fs::remove_file(&tmp);
-            StoreError::Io {
-                action: "publishing warm cache file",
-                path,
-                source,
-            }
-        })?;
+        self.backend.put(&Self::name_for(&identity), &sealed)?;
         Ok(entries.len())
     }
 }
@@ -219,17 +203,18 @@ fn parse(bytes: &[u8], identity: &str) -> Result<Vec<RawEntry>, SnapError> {
     Ok(entries)
 }
 
-fn quarantine(path: &Path, why: &SnapError) {
-    let mut corrupt = path.as_os_str().to_owned();
-    corrupt.push(".corrupt");
-    match faults::rename(path, PathBuf::from(corrupt)) {
-        Ok(()) => eprintln!(
-            "[warm] damaged warm cache file {} ({why:?}); quarantined",
-            path.display()
-        ),
-        Err(e) => eprintln!(
-            "[warm] damaged warm cache file {} ({why:?}); quarantine failed: {e}",
-            path.display()
+fn quarantine(backend: &dyn Store, name: &str, why: &SnapError) {
+    let label = backend.label(name);
+    match backend.quarantine(name) {
+        Quarantine::Moved(_) => {
+            eprintln!("[warm] damaged warm cache file {label} ({why:?}); quarantined")
+        }
+        Quarantine::Failed(e) => {
+            eprintln!("[warm] damaged warm cache file {label} ({why:?}); quarantine failed: {e}")
+        }
+        Quarantine::Unsupported => eprintln!(
+            "[warm] damaged warm cache file {label} ({why:?}); backend cannot \
+             quarantine, treating as absent"
         ),
     }
 }
@@ -242,6 +227,7 @@ mod tests {
     use btbx_core::OrgKind;
     use btbx_trace::suite;
     use btbx_uarch::{warm_identity, ParallelSession, SimConfig};
+    use std::fs;
 
     fn fresh_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("btbx-warm-{tag}"));

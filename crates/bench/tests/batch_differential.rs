@@ -35,6 +35,7 @@ fn opts(out_dir: &Path) -> HarnessOpts {
         resume: false,
         batch: true,
         fault_plan: None,
+        store: None,
     }
 }
 

@@ -18,6 +18,7 @@
 //!    undisturbed run's.
 
 use btbx_bench::faults::{self, ErrKind, FaultOp, FaultPlan, FaultRule};
+use btbx_bench::opts::DEFAULT_HTTP_TIMEOUT_MS;
 use btbx_bench::serve::{http_request, ServeConfig, Server};
 use btbx_bench::store::ResultStore;
 use btbx_bench::Sweep;
@@ -150,6 +151,8 @@ fn overloaded_server_sheds_with_retry_after_and_completes_admitted_work() {
         shards: 1,
         max_inflight: 1,
         deadline: None,
+        store: None,
+        http_timeout: Duration::from_millis(DEFAULT_HTTP_TIMEOUT_MS),
     })
     .expect("server starts");
     let addr = server.addr().to_string();
@@ -272,6 +275,8 @@ fn deadline_aborts_runaway_simulations_and_the_server_survives() {
         shards: 1,
         max_inflight: 0,
         deadline: Some(Duration::from_millis(150)),
+        store: None,
+        http_timeout: Duration::from_millis(DEFAULT_HTTP_TIMEOUT_MS),
     })
     .expect("server starts");
     let addr = server.addr().to_string();

@@ -37,6 +37,7 @@ fn opts(out_dir: &Path) -> HarnessOpts {
         resume: false,
         batch: true,
         fault_plan: None,
+        store: None,
     }
 }
 

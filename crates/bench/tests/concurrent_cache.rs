@@ -78,6 +78,7 @@ fn opts(out_dir: &std::path::Path) -> HarnessOpts {
         resume: false,
         batch: true,
         fault_plan: None,
+        store: None,
     }
 }
 
@@ -277,7 +278,7 @@ fn injected_rename_failure_is_loud_and_removes_the_temp_file() {
     let err = store.store("a.json", &canned_result(4)).unwrap_err();
     match &err {
         StoreError::Io { action, source, .. } => {
-            assert_eq!(*action, "publishing cache entry");
+            assert_eq!(*action, "publishing store entry");
             assert_eq!(source.kind(), io::ErrorKind::PermissionDenied, "{err}");
         }
         other => panic!("expected Io, got {other}"),
@@ -394,7 +395,7 @@ fn warm_cache_surfaces_injected_publish_failures_without_litter() {
     });
     let err = cache.store(&ladder).unwrap_err();
     match &err {
-        StoreError::Io { action, .. } => assert_eq!(*action, "publishing warm cache file"),
+        StoreError::Io { action, .. } => assert_eq!(*action, "publishing store entry"),
         other => panic!("expected Io, got {other}"),
     }
     drop(guard);

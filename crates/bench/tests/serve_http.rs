@@ -2,6 +2,7 @@
 //! request deduplication, byte-identity with the serial CLI sweep path,
 //! and graceful shutdown.
 
+use btbx_bench::opts::DEFAULT_HTTP_TIMEOUT_MS;
 use btbx_bench::serve::{http_request, ServeConfig, Server};
 use btbx_bench::{HarnessOpts, Sweep};
 use btbx_core::storage::BudgetPoint;
@@ -11,6 +12,7 @@ use btbx_uarch::SimResult;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Barrier;
+use std::time::Duration;
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("btbx-serve-{tag}"));
@@ -27,6 +29,8 @@ fn start(tag: &str, shards: usize) -> (Server, PathBuf) {
         shards,
         max_inflight: 0,
         deadline: None,
+        store: None,
+        http_timeout: Duration::from_millis(DEFAULT_HTTP_TIMEOUT_MS),
     })
     .expect("server starts");
     (server, out)
@@ -180,6 +184,7 @@ fn served_results_are_byte_identical_to_the_serial_cli_path() {
         resume: false,
         batch: true,
         fault_plan: None,
+        store: None,
     });
 
     // Same points through a fresh server (separate cache).
@@ -226,6 +231,7 @@ fn sweep_via_server_matches_local_sweep_order_and_results() {
         resume: false,
         batch: true,
         fault_plan: None,
+        store: None,
     };
     let local = sweep.run(&opts);
     let remote =
